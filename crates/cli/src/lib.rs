@@ -1,0 +1,328 @@
+//! Library half of the `gossip-sim` binary: argument parsing, experiment
+//! execution, and JSON serialization, kept out of `main.rs` so integration
+//! tests can drive the exact code path the binary runs.
+//!
+//! Serialization is hand-rolled: the workspace is dependency-free by
+//! design (simulation state is flat integers, so a JSON writer is ~40
+//! lines), which keeps builds hermetic.
+
+use gossip_core::{Rng, Topology};
+use gossip_protocols::{by_name, PROTOCOL_NAMES};
+use gossip_sim::{random_sources, run, SimConfig, SimResult};
+
+/// Accepted `--topology` values. `random_geometric` is an alias for `rgg`
+/// so the name echoed in result JSON round-trips back into the CLI.
+pub const TOPOLOGY_NAMES: &[&str] = &[
+    "line",
+    "ring",
+    "grid",
+    "complete",
+    "rgg",
+    "random_geometric",
+];
+
+pub const USAGE: &str = "gossip-sim: gossip experiments in the mobile telephone model
+
+USAGE:
+    gossip-sim [OPTIONS]
+
+OPTIONS:
+    --topology <line|ring|grid|complete|rgg>   topology family [default: ring]
+                                               (rgg = random_geometric)
+    --nodes <N>                                number of nodes [default: 100]
+    --protocol <uniform|advert>                gossip protocol [default: uniform]
+    --messages <K>                             rumors to spread (>64 uses
+                                               hashed advertisement tags) [default: 1]
+    --seed <S>                                 RNG seed [default: 1]
+    --max-rounds <R>                           round cap [default: 100 + 60*N]
+    --history                                  include per-round stats in the JSON
+    --help                                     print this help
+";
+
+/// A fully parsed experiment configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    pub topology: String,
+    pub nodes: usize,
+    pub protocol: String,
+    pub messages: usize,
+    pub seed: u64,
+    pub max_rounds: Option<usize>,
+    pub history: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            topology: "ring".to_string(),
+            nodes: 100,
+            protocol: "uniform".to_string(),
+            messages: 1,
+            seed: 1,
+            max_rounds: None,
+            history: false,
+        }
+    }
+}
+
+/// Outcome of argument parsing: run an experiment, or print help.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    Run(ExperimentConfig),
+    Help,
+}
+
+/// Parse CLI arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut cfg = ExperimentConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--history" => cfg.history = true,
+            "--topology" => {
+                cfg.topology = value("--topology")?;
+                if !TOPOLOGY_NAMES.contains(&cfg.topology.as_str()) {
+                    return Err(format!(
+                        "unknown topology '{}' (expected one of {})",
+                        cfg.topology,
+                        TOPOLOGY_NAMES.join(", ")
+                    ));
+                }
+            }
+            "--protocol" => {
+                cfg.protocol = value("--protocol")?;
+                if !PROTOCOL_NAMES.contains(&cfg.protocol.as_str()) {
+                    return Err(format!(
+                        "unknown protocol '{}' (expected one of {})",
+                        cfg.protocol,
+                        PROTOCOL_NAMES.join(", ")
+                    ));
+                }
+            }
+            "--nodes" => {
+                cfg.nodes = parse_num(&value("--nodes")?, "--nodes")?;
+                if cfg.nodes == 0 {
+                    return Err("--nodes must be at least 1".to_string());
+                }
+            }
+            "--messages" => {
+                cfg.messages = parse_num(&value("--messages")?, "--messages")?;
+                if cfg.messages == 0 {
+                    return Err("--messages must be at least 1".to_string());
+                }
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                cfg.seed = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: '{raw}' is not a non-negative integer"))?;
+            }
+            "--max-rounds" => {
+                cfg.max_rounds = Some(parse_num(&value("--max-rounds")?, "--max-rounds")?)
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(Command::Run(cfg))
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: '{s}' is not a non-negative integer"))
+}
+
+/// Build the topology named in the config. Randomized topologies draw from
+/// a stream forked off the experiment seed, so the whole experiment remains
+/// a pure function of the config.
+pub fn build_topology(cfg: &ExperimentConfig) -> Topology {
+    match cfg.topology.as_str() {
+        "line" => Topology::line(cfg.nodes),
+        "ring" => Topology::ring(cfg.nodes),
+        "grid" => Topology::grid(cfg.nodes),
+        "complete" => Topology::complete(cfg.nodes),
+        "rgg" | "random_geometric" => {
+            Topology::random_geometric(cfg.nodes, &mut Rng::new(cfg.seed ^ 0x7090))
+        }
+        other => unreachable!("parse_args admitted unknown topology '{other}'"),
+    }
+}
+
+/// Run the configured experiment end to end.
+pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult {
+    let topology = build_topology(cfg);
+    let protocol = by_name(&cfg.protocol).expect("parse_args validated the protocol name");
+    let sources = random_sources(
+        cfg.nodes,
+        cfg.messages,
+        &mut Rng::new(cfg.seed ^ 0x50_0c_e5),
+    );
+    let sim_cfg = SimConfig {
+        max_rounds: cfg.max_rounds.unwrap_or(100 + 60 * cfg.nodes),
+        record_rounds: cfg.history,
+    };
+    run(&topology, protocol.as_ref(), &sources, cfg.seed, &sim_cfg)
+}
+
+/// Serialize a result as a single JSON object.
+pub fn to_json(result: &SimResult) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    json_str(&mut out, "topology", &result.topology);
+    out.push(',');
+    json_str(&mut out, "protocol", &result.protocol);
+    out.push(',');
+    json_num(&mut out, "nodes", result.nodes as u64);
+    out.push(',');
+    json_num(&mut out, "messages", result.messages as u64);
+    out.push(',');
+    json_num(&mut out, "seed", result.seed);
+    out.push(',');
+    out.push_str(&format!("\"completed\":{}", result.completed));
+    out.push(',');
+    match result.rounds_to_completion {
+        Some(r) => json_num(&mut out, "rounds_to_completion", r as u64),
+        None => out.push_str("\"rounds_to_completion\":null"),
+    }
+    out.push(',');
+    json_num(&mut out, "rounds_executed", result.rounds_executed as u64);
+    out.push(',');
+    json_num(
+        &mut out,
+        "total_connections",
+        result.total_connections as u64,
+    );
+    out.push(',');
+    json_num(
+        &mut out,
+        "productive_connections",
+        result.productive_connections as u64,
+    );
+    out.push(',');
+    json_num(
+        &mut out,
+        "wasted_connections",
+        result.wasted_connections as u64,
+    );
+    out.push(',');
+    json_num(&mut out, "complete_nodes", result.complete_nodes as u64);
+    if let Some(rounds) = &result.rounds {
+        out.push_str(",\"rounds\":[");
+        for (i, r) in rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_num(&mut out, "round", r.round as u64);
+            out.push(',');
+            json_num(&mut out, "connections", r.connections as u64);
+            out.push(',');
+            json_num(&mut out, "productive", r.productive as u64);
+            out.push(',');
+            json_num(&mut out, "complete_nodes", r.complete_nodes as u64);
+            out.push(',');
+            json_num(&mut out, "messages_held", r.messages_held as u64);
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+fn json_str(out: &mut String, key: &str, value: &str) {
+    // Topology/protocol names are ASCII identifiers; escape the JSON
+    // specials anyway so the writer is safe for future string fields.
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_num(out: &mut String, key: &str, value: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        assert_eq!(parse(&[]), Ok(Command::Run(ExperimentConfig::default())));
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let cmd = parse(&[
+            "--topology",
+            "grid",
+            "--nodes",
+            "500",
+            "--protocol",
+            "advert",
+            "--messages",
+            "8",
+            "--seed",
+            "42",
+            "--max-rounds",
+            "1000",
+            "--history",
+        ])
+        .unwrap();
+        let Command::Run(cfg) = cmd else {
+            panic!("expected Run");
+        };
+        assert_eq!(cfg.topology, "grid");
+        assert_eq!(cfg.nodes, 500);
+        assert_eq!(cfg.protocol, "advert");
+        assert_eq!(cfg.messages, 8);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.max_rounds, Some(1000));
+        assert!(cfg.history);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--topology", "torus"]).is_err());
+        assert!(parse(&["--protocol", "psychic"]).is_err());
+        assert!(parse(&["--nodes", "0"]).is_err());
+        assert!(parse(&["--nodes", "many"]).is_err());
+        assert!(parse(&["--messages", "0"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn help_flag_wins() {
+        assert_eq!(parse(&["--nodes", "5", "--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let mut out = String::new();
+        json_str(&mut out, "k", "a\"b\\c\nd");
+        assert_eq!(out, r#""k":"a\"b\\c\nd""#);
+    }
+}

@@ -1,0 +1,27 @@
+use gossip_cli::{parse_args, run_experiment, to_json, Command, USAGE};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Command::Help) => {
+            let _ = std::io::stdout().write_all(USAGE.as_bytes());
+        }
+        Ok(Command::Run(cfg)) => {
+            let result = run_experiment(&cfg);
+            // Ignore write errors: a closed pipe (`gossip-sim | head`) is a
+            // normal way for a consumer to stop reading JSON.
+            let _ = writeln!(std::io::stdout(), "{}", to_json(&result));
+            if !result.completed {
+                eprintln!(
+                    "warning: gossip did not complete within {} rounds",
+                    result.rounds_executed
+                );
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end tests over the exact code path the `gossip-sim` binary runs:
+//! parse args, execute the experiment, serialize JSON.
+
+use gossip_cli::{parse_args, run_experiment, to_json, Command, ExperimentConfig};
+
+fn parse_run(args: &[&str]) -> ExperimentConfig {
+    match parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()) {
+        Ok(Command::Run(cfg)) => cfg,
+        other => panic!("expected a Run command, got {other:?}"),
+    }
+}
+
+#[test]
+fn acceptance_invocation_produces_json_metrics() {
+    // Mirrors: gossip-sim --topology ring --nodes 1000 --protocol advert --seed 42
+    let cfg = parse_run(&[
+        "--topology",
+        "ring",
+        "--nodes",
+        "1000",
+        "--protocol",
+        "advert",
+        "--seed",
+        "42",
+    ]);
+    let result = run_experiment(&cfg);
+    assert!(result.completed, "1000-node ring should complete");
+
+    let json = to_json(&result);
+    for key in [
+        "\"rounds_to_completion\":",
+        "\"topology\":\"ring\"",
+        "\"protocol\":\"advert\"",
+        "\"nodes\":1000",
+        "\"seed\":42",
+        "\"total_connections\":",
+        "\"wasted_connections\":",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}: {json}");
+    }
+    assert!(!json.contains("\"rounds\":["), "history off by default");
+}
+
+#[test]
+fn advert_beats_uniform_on_the_acceptance_ring() {
+    let advert = run_experiment(&parse_run(&[
+        "--topology",
+        "ring",
+        "--nodes",
+        "1000",
+        "--protocol",
+        "advert",
+        "--seed",
+        "42",
+    ]));
+    let uniform = run_experiment(&parse_run(&[
+        "--topology",
+        "ring",
+        "--nodes",
+        "1000",
+        "--protocol",
+        "uniform",
+        "--seed",
+        "42",
+    ]));
+    assert!(advert.completed && uniform.completed);
+    assert!(
+        advert.rounds_to_completion < uniform.rounds_to_completion,
+        "advert {:?} should beat uniform {:?}",
+        advert.rounds_to_completion,
+        uniform.rounds_to_completion
+    );
+}
+
+#[test]
+fn history_flag_records_per_round_stats() {
+    let cfg = parse_run(&[
+        "--topology",
+        "complete",
+        "--nodes",
+        "32",
+        "--history",
+        "--seed",
+        "3",
+    ]);
+    let result = run_experiment(&cfg);
+    assert!(result.completed);
+    let history = result.rounds.as_ref().expect("--history populates rounds");
+    assert_eq!(history.len(), result.rounds_executed);
+    let json = to_json(&result);
+    assert!(json.contains("\"rounds\":[{\"round\":1,"));
+
+    // The schema is a function of the flag, not the outcome: a run that is
+    // complete before round 1 still carries an (empty) rounds array.
+    let cfg = parse_run(&["--nodes", "1", "--topology", "complete", "--history"]);
+    let result = run_experiment(&cfg);
+    assert_eq!(result.rounds_to_completion, Some(0));
+    assert!(to_json(&result).contains("\"rounds\":[]"));
+}
+
+#[test]
+fn every_topology_runs_end_to_end() {
+    for topology in [
+        "line",
+        "ring",
+        "grid",
+        "complete",
+        "rgg",
+        "random_geometric",
+    ] {
+        for protocol in ["uniform", "advert"] {
+            let cfg = parse_run(&[
+                "--topology",
+                topology,
+                "--nodes",
+                "40",
+                "--protocol",
+                protocol,
+                "--seed",
+                "9",
+                "--messages",
+                "2",
+            ]);
+            let result = run_experiment(&cfg);
+            assert!(
+                result.completed,
+                "{protocol} on {topology} failed to complete"
+            );
+        }
+    }
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    let cfg = parse_run(&["--topology", "rgg", "--nodes", "60", "--seed", "11"]);
+    let a = run_experiment(&cfg);
+    let b = run_experiment(&cfg);
+    assert_eq!(to_json(&a), to_json(&b));
+}

@@ -1,0 +1,181 @@
+//! Connection proposals and the matching resolver.
+//!
+//! After scanning advertisements, each node commits to a per-round
+//! [`Intent`]: propose a connection to one specific neighbor, listen for
+//! incoming proposals (BLE peripheral role), or sit the round out. The
+//! resolver turns those intents into the set of pairwise connections that
+//! actually form, enforcing the model's defining invariant: **a node is in
+//! at most one connection per round**.
+//!
+//! Resolution has two phases, both deterministic given the RNG:
+//!
+//! 1. **Proposal phase** — explicit proposals `u → v` (with `v` a listening
+//!    neighbor of `u`) are visited in random order; a proposal succeeds when
+//!    both endpoints are still free. Proposals aimed at nodes that are busy
+//!    or not listening are simply lost, as in the model.
+//! 2. **Rebound phase** — a proposer whose attempt failed re-scans and may
+//!    connect to any still-free listening neighbor. This mirrors the model's
+//!    assumption that connection resolution yields a matching that is
+//!    *maximal* over willing pairs: after resolution, no free proposer is
+//!    adjacent to a free listener. On a complete graph this means every
+//!    round's matching is maximal over the proposer/listener split.
+
+use crate::{NodeId, Rng, Topology};
+
+/// A node's committed action for the connection phase of a round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Intent {
+    /// Attempt to open a connection to this neighbor.
+    Propose(NodeId),
+    /// Accept at most one incoming connection.
+    Listen,
+    /// Participate in neither side this round.
+    #[default]
+    Idle,
+}
+
+/// A formed pairwise connection. `initiator` proposed; `acceptor` listened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Connection {
+    pub initiator: NodeId,
+    pub acceptor: NodeId,
+}
+
+/// Resolve one round of intents into connections.
+///
+/// `intents[i]` is node `i`'s intent. Panics in debug builds if a proposal
+/// targets a non-neighbor (a protocol bug); in release such proposals are
+/// dropped. The returned connections form a matching: no node appears in
+/// more than one, and no free proposer remains adjacent to a free listener.
+pub fn resolve_connections(
+    topology: &Topology,
+    intents: &[Intent],
+    rng: &mut Rng,
+) -> Vec<Connection> {
+    let n = topology.num_nodes();
+    assert_eq!(intents.len(), n, "one intent per node required");
+
+    let mut matched = vec![false; n];
+    let mut connections = Vec::new();
+
+    // Phase 1: explicit proposals, in random arrival order.
+    let mut proposals: Vec<(NodeId, NodeId)> = intents
+        .iter()
+        .enumerate()
+        .filter_map(|(u, intent)| match intent {
+            Intent::Propose(v) => Some((NodeId(u as u32), *v)),
+            _ => None,
+        })
+        .collect();
+    rng.shuffle(&mut proposals);
+
+    for &(u, v) in &proposals {
+        debug_assert!(
+            topology.are_neighbors(u, v),
+            "protocol proposed {u} -> {v} across a non-edge"
+        );
+        if !topology.are_neighbors(u, v) {
+            continue;
+        }
+        if intents[v.index()] == Intent::Listen && !matched[u.index()] && !matched[v.index()] {
+            matched[u.index()] = true;
+            matched[v.index()] = true;
+            connections.push(Connection {
+                initiator: u,
+                acceptor: v,
+            });
+        }
+    }
+
+    // Phase 2: rebound. Failed proposers retry against any free listener in
+    // range, making the matching maximal over willing (proposer, listener)
+    // pairs.
+    let mut free_proposers: Vec<NodeId> = proposals
+        .iter()
+        .map(|&(u, _)| u)
+        .filter(|u| !matched[u.index()])
+        .collect();
+    rng.shuffle(&mut free_proposers);
+
+    let mut candidates = Vec::new();
+    for u in free_proposers {
+        candidates.clear();
+        candidates.extend(
+            topology
+                .neighbors(u)
+                .iter()
+                .copied()
+                .filter(|v| intents[v.index()] == Intent::Listen && !matched[v.index()]),
+        );
+        if candidates.is_empty() {
+            continue;
+        }
+        let v = candidates[rng.gen_range(candidates.len())];
+        matched[u.index()] = true;
+        matched[v.index()] = true;
+        connections.push(Connection {
+            initiator: u,
+            acceptor: v,
+        });
+    }
+
+    connections
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn proposal_to_listener_connects() {
+        let topo = Topology::line(2);
+        let intents = [Intent::Propose(NodeId(1)), Intent::Listen];
+        let conns = resolve_connections(&topo, &intents, &mut Rng::new(1));
+        assert_eq!(
+            conns,
+            vec![Connection {
+                initiator: NodeId(0),
+                acceptor: NodeId(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn proposal_to_non_listener_is_lost() {
+        let topo = Topology::line(2);
+        let intents = [Intent::Propose(NodeId(1)), Intent::Idle];
+        assert!(resolve_connections(&topo, &intents, &mut Rng::new(1)).is_empty());
+        let intents = [Intent::Propose(NodeId(1)), Intent::Propose(NodeId(0))];
+        assert!(resolve_connections(&topo, &intents, &mut Rng::new(1)).is_empty());
+    }
+
+    #[test]
+    fn listener_accepts_at_most_one() {
+        // Both endpoints of a 3-line propose to the middle listener.
+        let topo = Topology::line(3);
+        let intents = [
+            Intent::Propose(NodeId(1)),
+            Intent::Listen,
+            Intent::Propose(NodeId(1)),
+        ];
+        let conns = resolve_connections(&topo, &intents, &mut Rng::new(5));
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].acceptor, NodeId(1));
+    }
+
+    #[test]
+    fn rebound_rescues_failed_proposer() {
+        // Nodes 0 and 2 both propose to listener 1; node 3 also listens.
+        // Whoever loses node 1 must rebound onto node 3 if adjacent.
+        let topo = Topology::complete(4);
+        let intents = [
+            Intent::Propose(NodeId(1)),
+            Intent::Listen,
+            Intent::Propose(NodeId(1)),
+            Intent::Listen,
+        ];
+        let conns = resolve_connections(&topo, &intents, &mut Rng::new(8));
+        assert_eq!(conns.len(), 2, "rebound phase should pair everyone");
+    }
+}

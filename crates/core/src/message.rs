@@ -1,0 +1,186 @@
+//! Gossip state: the set of rumors a node currently holds.
+//!
+//! The gossip problem starts `k` messages (rumors) at designated sources and
+//! completes when every node holds all `k`. A [`MessageSet`] is a fixed-
+//! universe bitset over message ids `0..k` with the operations the engine
+//! and protocols need: insert, union (the push-pull transfer), completeness,
+//! and a 64-bit fingerprint suitable for an advertisement tag.
+
+/// A set of message ids drawn from a fixed universe `0..universe`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MessageSet {
+    words: Vec<u64>,
+    universe: usize,
+    count: usize,
+}
+
+impl MessageSet {
+    /// Empty set over message ids `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        MessageSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+            count: 0,
+        }
+    }
+
+    /// Size of the message universe (the `k` of k-gossip).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of messages currently held.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True once every message in the universe is held.
+    pub fn is_full(&self) -> bool {
+        self.count == self.universe
+    }
+
+    /// Insert message `id`; returns true if it was newly added.
+    pub fn insert(&mut self, id: usize) -> bool {
+        assert!(id < self.universe, "message id {id} out of universe");
+        let (w, b) = (id / 64, id % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        if fresh {
+            self.words[w] |= 1 << b;
+            self.count += 1;
+        }
+        fresh
+    }
+
+    /// Does this set contain message `id`?
+    pub fn contains(&self, id: usize) -> bool {
+        id < self.universe && self.words[id / 64] & (1 << (id % 64)) != 0
+    }
+
+    /// Union `other` into `self` (one direction of a push-pull transfer).
+    /// Returns how many messages were newly added.
+    pub fn union_with(&mut self, other: &MessageSet) -> usize {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let before = self.count;
+        let mut count = 0usize;
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+            count += w.count_ones() as usize;
+        }
+        self.count = count;
+        self.count - before
+    }
+
+    /// A 64-bit summary suitable for an advertisement tag.
+    ///
+    /// For universes of at most 64 messages this is the exact membership
+    /// mask, so two fingerprints are equal iff the sets are equal and
+    /// bitwise comparisons recover exact set differences. Larger universes
+    /// hash down to 64 bits; equality then only implies set equality with
+    /// high probability, which is the regime the paper's small-tag (`b`-bit
+    /// advertisement) analysis targets.
+    ///
+    /// Equivalent to [`fingerprint_salted`](Self::fingerprint_salted) with
+    /// salt 0.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_salted(0)
+    }
+
+    /// [`fingerprint`](Self::fingerprint) mixed with a caller-chosen salt.
+    ///
+    /// For universes of at most 64 messages the salt is ignored and the
+    /// exact membership mask is returned. Beyond that, the salt is mixed
+    /// into the hash — protocols salt tags with the round number so that a
+    /// hash collision between two *different* sets cannot persist: the
+    /// colliding pair re-hashes differently next round, which is what rules
+    /// out advertisement-guided livelock on large universes.
+    pub fn fingerprint_salted(&self, salt: u64) -> u64 {
+        if self.universe <= 64 {
+            return self.words.first().copied().unwrap_or(0);
+        }
+        let mut h = salt ^ (self.universe as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for &w in &self.words {
+            h ^= w;
+            h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            h ^= h >> 31;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = MessageSet::new(10);
+        assert!(!s.contains(3));
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "double insert is not fresh");
+        assert!(s.contains(3));
+        assert_eq!(s.count(), 1);
+        assert!(!s.is_full());
+    }
+
+    #[test]
+    fn union_reports_added() {
+        let mut a = MessageSet::new(130);
+        let mut b = MessageSet::new(130);
+        a.insert(0);
+        a.insert(100);
+        b.insert(100);
+        b.insert(129);
+        assert_eq!(a.union_with(&b), 1);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.union_with(&b), 0, "re-union adds nothing");
+    }
+
+    #[test]
+    fn full_after_all_inserted() {
+        let mut s = MessageSet::new(65);
+        for i in 0..65 {
+            s.insert(i);
+        }
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn small_universe_fingerprint_is_exact_mask() {
+        let mut s = MessageSet::new(64);
+        s.insert(0);
+        s.insert(5);
+        assert_eq!(s.fingerprint(), 0b100001);
+    }
+
+    #[test]
+    fn large_universe_fingerprints_differ_for_different_sets() {
+        let mut a = MessageSet::new(200);
+        let mut b = MessageSet::new(200);
+        a.insert(3);
+        b.insert(150);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // The word-fold collision family of the old XOR-rotate scheme
+        // (ids i and 64 + (i - 1) collided) must not survive the hash.
+        let mut c = MessageSet::new(128);
+        let mut d = MessageSet::new(128);
+        c.insert(4);
+        d.insert(67);
+        assert_ne!(c.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn salt_changes_large_universe_tags_but_not_small() {
+        let mut large = MessageSet::new(100);
+        large.insert(42);
+        assert_ne!(
+            large.fingerprint_salted(1),
+            large.fingerprint_salted(2),
+            "same set must re-hash differently under a new salt"
+        );
+        let mut small = MessageSet::new(8);
+        small.insert(3);
+        assert_eq!(small.fingerprint_salted(1), small.fingerprint_salted(2));
+        assert_eq!(small.fingerprint_salted(7), small.fingerprint());
+    }
+}

@@ -1,0 +1,239 @@
+//! Static communication graphs for the mobile telephone model.
+//!
+//! The model abstracts physical proximity as an undirected graph: nodes can
+//! only scan advertisements of, and connect to, their graph neighbors. The
+//! builders here cover the standard analysis topologies — line, ring, grid,
+//! complete — plus random geometric graphs, the usual stand-in for devices
+//! scattered in space with a fixed radio range.
+
+use crate::{NodeId, Rng};
+
+/// An undirected graph over nodes `0..num_nodes()`, with sorted adjacency
+/// lists for cache-friendly scans and `O(log degree)` membership checks.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    adj: Vec<Vec<NodeId>>,
+    name: String,
+}
+
+impl Topology {
+    /// Build a topology from an undirected edge list. Self-loops and
+    /// duplicate edges are ignored.
+    pub fn from_edges(name: &str, n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            let (ui, vi) = (u as usize, v as usize);
+            assert!(ui < n && vi < n, "edge ({u},{v}) out of range for n={n}");
+            if ui == vi {
+                continue;
+            }
+            adj[ui].push(NodeId(v));
+            adj[vi].push(NodeId(u));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Topology {
+            adj,
+            name: name.to_string(),
+        }
+    }
+
+    /// Path graph: `0 — 1 — … — n-1`.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+        Self::from_edges("line", n, &edges)
+    }
+
+    /// Cycle graph: the line plus the wrap-around edge `n-1 — 0`.
+    pub fn ring(n: usize) -> Self {
+        let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
+        if n > 2 {
+            edges.push((n as u32 - 1, 0));
+        }
+        Self::from_edges("ring", n, &edges)
+    }
+
+    /// Near-square 4-neighbor lattice over `n` nodes. The grid has
+    /// `floor(sqrt(n))` rows; the final row may be partial.
+    pub fn grid(n: usize) -> Self {
+        let rows = (n as f64).sqrt().floor().max(1.0) as usize;
+        let cols = n.div_ceil(rows);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            let c = i % cols;
+            if c + 1 < cols && i + 1 < n {
+                edges.push((i as u32, i as u32 + 1));
+            }
+            if i + cols < n {
+                edges.push((i as u32, (i + cols) as u32));
+            }
+        }
+        Self::from_edges("grid", n, &edges)
+    }
+
+    /// Complete graph: every pair of nodes is adjacent.
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        Self::from_edges("complete", n, &edges)
+    }
+
+    /// Random geometric graph: `n` points placed uniformly in the unit
+    /// square, adjacent when within the connection radius. The radius starts
+    /// at the standard connectivity threshold `sqrt(2 ln n / n)` and grows
+    /// until the graph is connected, so the result is always usable for
+    /// gossip while staying sparse. Deterministic in `rng`.
+    pub fn random_geometric(n: usize, rng: &mut Rng) -> Self {
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
+        let mut radius = if n > 1 {
+            (2.0 * (n as f64).ln() / n as f64).sqrt()
+        } else {
+            1.0
+        };
+        loop {
+            let r2 = radius * radius;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);
+                    if dx * dx + dy * dy <= r2 {
+                        edges.push((u as u32, v as u32));
+                    }
+                }
+            }
+            let topo = Self::from_edges("random_geometric", n, &edges);
+            if topo.is_connected() {
+                return topo;
+            }
+            radius *= 1.25;
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Builder name ("ring", "grid", …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sorted neighbors of `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adj[node.index()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Are `u` and `v` adjacent?
+    pub fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Total number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// BFS connectivity check. The empty graph counts as connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    visited += 1;
+                    queue.push_back(v.index());
+                }
+            }
+        }
+        visited == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_degrees() {
+        let t = Topology::line(5);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.degree(NodeId(0)), 1);
+        assert_eq!(t.degree(NodeId(2)), 2);
+        assert_eq!(t.degree(NodeId(4)), 1);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn ring_is_two_regular() {
+        let t = Topology::ring(6);
+        assert_eq!(t.num_edges(), 6);
+        for i in 0..6 {
+            assert_eq!(t.degree(NodeId(i)), 2);
+        }
+        assert!(t.are_neighbors(NodeId(5), NodeId(0)));
+    }
+
+    #[test]
+    fn tiny_rings_degrade_gracefully() {
+        // A 2-ring is just an edge; a 1-ring a lone node.
+        assert_eq!(Topology::ring(2).num_edges(), 1);
+        assert_eq!(Topology::ring(1).num_edges(), 0);
+        assert!(Topology::ring(1).is_connected());
+    }
+
+    #[test]
+    fn grid_structure() {
+        // n=12 -> 3 rows x 4 cols.
+        let t = Topology::grid(12);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(NodeId(0)), 2); // corner
+        assert_eq!(t.degree(NodeId(5)), 4); // interior
+                                            // Partial last row still connects upward.
+        let t = Topology::grid(10);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        let t = Topology::complete(7);
+        assert_eq!(t.num_edges(), 21);
+        for i in 0..7 {
+            assert_eq!(t.degree(NodeId(i)), 6);
+        }
+    }
+
+    #[test]
+    fn random_geometric_is_connected_and_deterministic() {
+        let mut rng = Rng::new(42);
+        let a = Topology::random_geometric(50, &mut rng);
+        assert!(a.is_connected());
+        let mut rng = Rng::new(42);
+        let b = Topology::random_geometric(50, &mut rng);
+        assert_eq!(a.num_edges(), b.num_edges(), "same seed, same graph");
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let t = Topology::from_edges("pair", 4, &[(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-style tests for the connection matching resolver.
+//!
+//! Across many seeds, topologies, and random intent assignments:
+//! - no node ever appears in two connections in a round (the model's
+//!   one-connection-per-node invariant),
+//! - every connection joins a proposer to a listening neighbor,
+//! - the matching is maximal over willing pairs: no free proposer is left
+//!   adjacent to a free listener — which on complete graphs means the
+//!   proposer/listener matching is maximal outright.
+
+use gossip_core::{resolve_connections, Intent, NodeId, Rng, Topology};
+
+fn random_intents(topo: &Topology, rng: &mut Rng) -> Vec<Intent> {
+    (0..topo.num_nodes())
+        .map(|u| {
+            let neighbors = topo.neighbors(NodeId(u as u32));
+            match rng.gen_range(3) {
+                0 if !neighbors.is_empty() => {
+                    Intent::Propose(neighbors[rng.gen_range(neighbors.len())])
+                }
+                1 => Intent::Listen,
+                _ => Intent::Idle,
+            }
+        })
+        .collect()
+}
+
+fn check_invariants(topo: &Topology, intents: &[Intent], seed: u64) {
+    let conns = resolve_connections(topo, intents, &mut Rng::new(seed));
+
+    // Invariant 1: a matching — no node in two connections.
+    let mut matched = vec![false; topo.num_nodes()];
+    for c in &conns {
+        for node in [c.initiator, c.acceptor] {
+            assert!(
+                !matched[node.index()],
+                "node {node} appears in two connections (seed {seed})"
+            );
+            matched[node.index()] = true;
+        }
+    }
+
+    // Invariant 2: connections respect roles and the topology.
+    for c in &conns {
+        assert!(
+            matches!(intents[c.initiator.index()], Intent::Propose(_)),
+            "initiator {} did not propose",
+            c.initiator
+        );
+        assert_eq!(
+            intents[c.acceptor.index()],
+            Intent::Listen,
+            "acceptor {} was not listening",
+            c.acceptor
+        );
+        assert!(
+            topo.are_neighbors(c.initiator, c.acceptor),
+            "connection across non-edge"
+        );
+    }
+
+    // Invariant 3: maximal over willing pairs — no free proposer adjacent
+    // to a free listener.
+    for u in 0..topo.num_nodes() {
+        let u = NodeId(u as u32);
+        if !matches!(intents[u.index()], Intent::Propose(_)) || matched[u.index()] {
+            continue;
+        }
+        for &v in topo.neighbors(u) {
+            assert!(
+                intents[v.index()] != Intent::Listen || matched[v.index()],
+                "free proposer {u} adjacent to free listener {v} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_across_topologies_and_seeds() {
+    for seed in 0..30u64 {
+        let mut rng = Rng::new(seed);
+        let topologies = [
+            Topology::line(17),
+            Topology::ring(24),
+            Topology::grid(25),
+            Topology::complete(16),
+            Topology::random_geometric(20, &mut rng),
+        ];
+        for topo in &topologies {
+            let intents = random_intents(topo, &mut rng);
+            check_invariants(topo, &intents, seed.wrapping_mul(31).wrapping_add(7));
+        }
+    }
+}
+
+#[test]
+fn complete_graph_matchings_are_maximal() {
+    // On a complete graph every proposer is adjacent to every listener, so
+    // maximality over willing pairs means min(free proposers, free
+    // listeners) == 0 after resolution.
+    for seed in 0..50u64 {
+        let n = 20;
+        let topo = Topology::complete(n);
+        let mut rng = Rng::new(seed);
+        let intents: Vec<Intent> = (0..n)
+            .map(|u| {
+                if rng.gen_bool() {
+                    // Propose to a random other node.
+                    let mut v = rng.gen_range(n - 1);
+                    if v >= u {
+                        v += 1;
+                    }
+                    Intent::Propose(NodeId(v as u32))
+                } else {
+                    Intent::Listen
+                }
+            })
+            .collect();
+
+        let conns = resolve_connections(&topo, &intents, &mut rng);
+        let mut matched = vec![false; n];
+        for c in &conns {
+            matched[c.initiator.index()] = true;
+            matched[c.acceptor.index()] = true;
+        }
+        let free_proposers = (0..n)
+            .filter(|&u| matches!(intents[u], Intent::Propose(_)) && !matched[u])
+            .count();
+        let free_listeners = (0..n)
+            .filter(|&u| intents[u] == Intent::Listen && !matched[u])
+            .count();
+        assert!(
+            free_proposers == 0 || free_listeners == 0,
+            "non-maximal matching on complete graph (seed {seed}): \
+             {free_proposers} free proposers, {free_listeners} free listeners"
+        );
+        // And the number of connections is what maximality dictates: the
+        // smaller side of the willing split is fully matched.
+        let proposers = (0..n)
+            .filter(|&u| matches!(intents[u], Intent::Propose(_)))
+            .count();
+        assert_eq!(conns.len(), proposers.min(n - proposers));
+    }
+}
+
+#[test]
+fn resolution_is_deterministic_for_a_fixed_seed() {
+    let topo = Topology::grid(36);
+    let mut rng = Rng::new(99);
+    let intents = random_intents(&topo, &mut rng);
+    let a = resolve_connections(&topo, &intents, &mut Rng::new(1234));
+    let b = resolve_connections(&topo, &intents, &mut Rng::new(1234));
+    assert_eq!(a, b);
+}

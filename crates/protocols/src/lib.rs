@@ -1,0 +1,63 @@
+//! Pluggable gossip protocols for the mobile telephone model.
+//!
+//! A protocol decides, each round and for each node, (a) what to put in the
+//! node's advertisement tag and (b) whether to propose a connection, listen
+//! for one, or idle — using only information the model makes locally
+//! visible: the node's own message set and its neighbors' advertisements.
+//!
+//! Two members of the family analyzed in Newport's PODC 2017 paper (and the
+//! follow-up random gossip processes work) are provided:
+//!
+//! - [`UniformGossip`]: blind uniform random spread — ignore advertisements,
+//!   flip a coin for role, propose to a uniformly random neighbor.
+//! - [`AdvertGossip`]: productive, advertisement-guided gossip — advertise a
+//!   fingerprint of the held message set, and only pursue connections that
+//!   can move a new message in at least one direction.
+
+mod advert;
+mod uniform;
+
+pub use advert::AdvertGossip;
+pub use uniform::UniformGossip;
+
+use gossip_core::{Advertisement, Intent, MessageSet, NodeId, Rng};
+
+/// Everything a node is allowed to see when committing its round intent:
+/// its own state plus the scanned advertisements of its neighbors. The
+/// round number is shared knowledge in a synchronous model and lets
+/// protocols salt their tags per round.
+pub struct NodeCtx<'a> {
+    pub id: NodeId,
+    pub round: usize,
+    pub messages: &'a MessageSet,
+    /// Neighbors in the topology, parallel to `neighbor_ads`.
+    pub neighbors: &'a [NodeId],
+    /// Advertisement scanned from each neighbor this round.
+    pub neighbor_ads: &'a [Advertisement],
+}
+
+/// A gossip protocol in the mobile telephone model. Implementations must be
+/// deterministic given the RNG: all randomness flows through `rng`.
+pub trait GossipProtocol {
+    /// Stable protocol name, used in CLI selection and reporting.
+    fn name(&self) -> &'static str;
+
+    /// The tag this node broadcasts during the advertisement phase of
+    /// `round`.
+    fn advertise(&self, messages: &MessageSet, round: usize) -> Advertisement;
+
+    /// The node's connection-phase intent, after scanning neighbor tags.
+    fn decide(&self, ctx: &NodeCtx<'_>, rng: &mut Rng) -> Intent;
+}
+
+/// Construct a protocol by its CLI name.
+pub fn by_name(name: &str) -> Option<Box<dyn GossipProtocol>> {
+    match name {
+        "uniform" => Some(Box::new(UniformGossip)),
+        "advert" => Some(Box::new(AdvertGossip)),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`by_name`].
+pub const PROTOCOL_NAMES: &[&str] = &["uniform", "advert"];

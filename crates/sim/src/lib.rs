@@ -1,0 +1,241 @@
+//! Deterministic round-based simulation engine for gossip in the mobile
+//! telephone model.
+//!
+//! The engine drives any [`GossipProtocol`] over any [`Topology`] through
+//! the model's round structure — advertise → scan → connect → transfer —
+//! and records the metrics the paper analyzes: rounds to completion,
+//! connections formed, and how many of those connections were wasted.
+//!
+//! Everything is deterministic given the seed: the same `(topology,
+//! protocol, sources, seed)` quadruple always reproduces the same run,
+//! which is what makes regression tests on round counts possible.
+
+mod metrics;
+
+pub use metrics::{RoundStats, SimResult};
+
+use gossip_core::{resolve_connections, Advertisement, Intent, MessageSet, NodeId, Rng, Topology};
+use gossip_protocols::{GossipProtocol, NodeCtx};
+
+/// Engine knobs independent of topology and protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Hard cap on rounds; the run stops uncompleted when it is reached.
+    pub max_rounds: usize,
+    /// Record a [`RoundStats`] entry per round (costs memory on long runs).
+    pub record_rounds: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_rounds: 100_000,
+            record_rounds: false,
+        }
+    }
+}
+
+/// Place `k` message sources uniformly at random on distinct nodes
+/// (wrapping onto shared nodes only when `k > n`). Deterministic in `rng`.
+pub fn random_sources(n: usize, k: usize, rng: &mut Rng) -> Vec<NodeId> {
+    assert!(n > 0, "cannot place sources on an empty topology");
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut ids);
+    (0..k).map(|m| NodeId(ids[m % n])).collect()
+}
+
+/// Run one simulation: message `m` starts at `sources[m]`, and the run ends
+/// when every node holds every message or `config.max_rounds` is hit.
+pub fn run(
+    topology: &Topology,
+    protocol: &dyn GossipProtocol,
+    sources: &[NodeId],
+    seed: u64,
+    config: &SimConfig,
+) -> SimResult {
+    let n = topology.num_nodes();
+    let k = sources.len();
+    assert!(n > 0, "cannot simulate an empty topology");
+    assert!(k > 0, "gossip needs at least one message");
+
+    let mut rng = Rng::new(seed);
+    let mut states: Vec<MessageSet> = (0..n).map(|_| MessageSet::new(k)).collect();
+    for (m, &node) in sources.iter().enumerate() {
+        states[node.index()].insert(m);
+    }
+
+    let mut complete_nodes = states.iter().filter(|s| s.is_full()).count();
+    let mut result = SimResult {
+        topology: topology.name().to_string(),
+        protocol: protocol.name().to_string(),
+        nodes: n,
+        messages: k,
+        seed,
+        completed: complete_nodes == n,
+        rounds_to_completion: if complete_nodes == n { Some(0) } else { None },
+        rounds_executed: 0,
+        total_connections: 0,
+        productive_connections: 0,
+        wasted_connections: 0,
+        complete_nodes,
+        rounds: config.record_rounds.then(Vec::new),
+    };
+    if result.completed {
+        return result;
+    }
+
+    let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
+    let mut intents: Vec<Intent> = vec![Intent::Idle; n];
+    let mut ad_scratch: Vec<Advertisement> = Vec::new();
+
+    for round in 1..=config.max_rounds {
+        // Phase 1+2: advertise, then every node scans and commits an intent.
+        for (ad, state) in ads.iter_mut().zip(&states) {
+            *ad = protocol.advertise(state, round);
+        }
+        for u in 0..n {
+            let id = NodeId(u as u32);
+            let neighbors = topology.neighbors(id);
+            ad_scratch.clear();
+            ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
+            let ctx = NodeCtx {
+                id,
+                round,
+                messages: &states[u],
+                neighbors,
+                neighbor_ads: &ad_scratch,
+            };
+            intents[u] = protocol.decide(&ctx, &mut rng);
+        }
+
+        // Phase 3: connection resolution (the matching).
+        let connections = resolve_connections(topology, &intents, &mut rng);
+
+        // Phase 4: push-pull transfer over each connection.
+        let mut productive = 0;
+        for c in &connections {
+            let (a, b) = ordered_pair(&mut states, c.initiator.index(), c.acceptor.index());
+            let before_a = a.is_full();
+            let before_b = b.is_full();
+            let moved = a.union_with(b) + b.union_with(a);
+            if moved > 0 {
+                productive += 1;
+            }
+            complete_nodes += (a.is_full() && !before_a) as usize;
+            complete_nodes += (b.is_full() && !before_b) as usize;
+        }
+
+        result.rounds_executed = round;
+        result.total_connections += connections.len();
+        result.productive_connections += productive;
+        result.wasted_connections += connections.len() - productive;
+        if let Some(history) = &mut result.rounds {
+            history.push(RoundStats {
+                round,
+                connections: connections.len(),
+                productive,
+                complete_nodes,
+                messages_held: states.iter().map(MessageSet::count).sum(),
+            });
+        }
+
+        if complete_nodes == n {
+            result.completed = true;
+            result.rounds_to_completion = Some(round);
+            break;
+        }
+    }
+
+    result.complete_nodes = complete_nodes;
+    result
+}
+
+/// Two distinct mutable references into `states`.
+fn ordered_pair(
+    states: &mut [MessageSet],
+    i: usize,
+    j: usize,
+) -> (&mut MessageSet, &mut MessageSet) {
+    assert_ne!(i, j, "a connection cannot join a node to itself");
+    if i < j {
+        let (lo, hi) = states.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = states.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_protocols::UniformGossip;
+
+    #[test]
+    fn single_node_completes_instantly() {
+        let topo = Topology::complete(1);
+        let result = run(
+            &topo,
+            &UniformGossip,
+            &[NodeId(0)],
+            1,
+            &SimConfig::default(),
+        );
+        assert!(result.completed);
+        assert_eq!(result.rounds_to_completion, Some(0));
+        assert_eq!(result.total_connections, 0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_run_exactly() {
+        let topo = Topology::grid(30);
+        let cfg = SimConfig {
+            record_rounds: true,
+            ..SimConfig::default()
+        };
+        let mut rng = Rng::new(5);
+        let sources = random_sources(30, 3, &mut rng);
+        let a = run(&topo, &UniformGossip, &sources, 77, &cfg);
+        let b = run(&topo, &UniformGossip, &sources, 77, &cfg);
+        assert_eq!(a.rounds_to_completion, b.rounds_to_completion);
+        assert_eq!(a.total_connections, b.total_connections);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn round_cap_stops_uncompleted_runs() {
+        // Two isolated components can never finish 1-gossip.
+        let topo = Topology::from_edges("split", 4, &[(0, 1), (2, 3)]);
+        let cfg = SimConfig {
+            max_rounds: 25,
+            ..SimConfig::default()
+        };
+        let result = run(&topo, &UniformGossip, &[NodeId(0)], 3, &cfg);
+        assert!(!result.completed);
+        assert_eq!(result.rounds_executed, 25);
+        assert_eq!(result.rounds_to_completion, None);
+        assert!(result.complete_nodes < 4);
+    }
+
+    #[test]
+    fn connection_accounting_is_consistent() {
+        let topo = Topology::ring(16);
+        let result = run(
+            &topo,
+            &UniformGossip,
+            &[NodeId(0)],
+            9,
+            &SimConfig::default(),
+        );
+        assert!(result.completed);
+        assert_eq!(
+            result.total_connections,
+            result.productive_connections + result.wasted_connections
+        );
+        // With a 1-message universe a productive connection informs exactly
+        // one new node, so reaching 15 more nodes takes >= 15 of them; and
+        // coverage at most doubles per round, so 1 -> 16 takes >= 4 rounds.
+        assert!(result.productive_connections >= 15);
+        assert!(result.rounds_to_completion.unwrap() >= 4);
+    }
+}

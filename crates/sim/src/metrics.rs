@@ -1,0 +1,49 @@
+//! Per-round and whole-run metrics recorded by the engine.
+
+/// Counters for one simulated round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundStats {
+    /// 1-based round number.
+    pub round: usize,
+    /// Connections formed this round.
+    pub connections: usize,
+    /// Connections that moved at least one new message in some direction.
+    pub productive: usize,
+    /// Nodes holding the full message universe at the end of the round.
+    pub complete_nodes: usize,
+    /// Total messages held across all nodes at the end of the round.
+    pub messages_held: usize,
+}
+
+/// Result of a complete simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Topology builder name.
+    pub topology: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Size of the message universe (`k` of k-gossip).
+    pub messages: usize,
+    /// Engine seed.
+    pub seed: u64,
+    /// Whether every node held every message before the round cap.
+    pub completed: bool,
+    /// Round in which gossip completed, if it did.
+    pub rounds_to_completion: Option<usize>,
+    /// Rounds actually executed (equals the cap when `!completed`).
+    pub rounds_executed: usize,
+    /// Total connections formed.
+    pub total_connections: usize,
+    /// Connections that transferred at least one new message.
+    pub productive_connections: usize,
+    /// Connections that transferred nothing (both endpoints already equal).
+    pub wasted_connections: usize,
+    /// Nodes holding the full universe at the end.
+    pub complete_nodes: usize,
+    /// Per-round history; `Some` exactly when requested in `SimConfig`, so
+    /// consumers can rely on its presence as a function of the flag (it is
+    /// `Some(vec![])` for a run that was already complete at round 0).
+    pub rounds: Option<Vec<RoundStats>>,
+}
