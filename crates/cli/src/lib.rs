@@ -6,9 +6,9 @@
 //! design (simulation state is flat integers, so a JSON writer is ~40
 //! lines), which keeps builds hermetic.
 
-use gossip_core::{Rng, Topology};
+use gossip_core::{Rng, TimingConfig, Topology};
 use gossip_protocols::{by_name, PROTOCOL_NAMES};
-use gossip_sim::{random_sources, run, SimConfig, SimResult};
+use gossip_sim::{random_sources, AsyncScheduler, Scheduler, SimConfig, SimResult, SyncScheduler};
 
 /// Accepted `--topology` values. `random_geometric` is an alias for `rgg`
 /// so the name echoed in result JSON round-trips back into the CLI.
@@ -21,6 +21,9 @@ pub const TOPOLOGY_NAMES: &[&str] = &[
     "random_geometric",
 ];
 
+/// Accepted `--scheduler` values.
+pub const SCHEDULER_NAMES: &[&str] = &["sync", "async"];
+
 pub const USAGE: &str = "gossip-sim: gossip experiments in the mobile telephone model
 
 USAGE:
@@ -31,42 +34,81 @@ OPTIONS:
                                                (rgg = random_geometric)
     --nodes <N>                                number of nodes [default: 100]
     --protocol <uniform|advert>                gossip protocol [default: uniform]
+    --scheduler <sync|async>                   execution model: synchronized rounds
+                                               or event-driven virtual time [default: sync]
     --messages <K>                             rumors to spread (>64 uses
                                                hashed advertisement tags) [default: 1]
     --seed <S>                                 RNG seed [default: 1]
-    --max-rounds <R>                           round cap [default: 100 + 60*N]
+    --seeds <N>                                sweep N consecutive seeds starting at
+                                               --seed, one JSON line each [default: 1]
+    --max-rounds <R>                           round cap; the async scheduler reads it
+                                               as the equivalent virtual-time cap
+                                               [default: 100 + 60*N]
+    --drift <F>                                async: max relative clock drift,
+                                               0 <= F < 1 [default: 0.1]
+    --min-latency <T>                          async: min connect/transfer latency in
+                                               ticks (1024 ticks = 1 round) [default: 32]
+    --max-latency <T>                          async: max connect/transfer latency in
+                                               ticks [default: 256]
     --history                                  include per-round stats in the JSON
     --help                                     print this help
 ";
 
 /// A fully parsed experiment configuration.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentConfig {
     pub topology: String,
     pub nodes: usize,
     pub protocol: String,
+    pub scheduler: String,
     pub messages: usize,
     pub seed: u64,
+    /// Number of consecutive seeds to sweep, starting at `seed`.
+    pub seeds: usize,
     pub max_rounds: Option<usize>,
+    /// Max relative clock drift (async scheduler only).
+    pub drift: f64,
+    /// Min connection/transfer latency in ticks (async scheduler only).
+    pub min_latency: u64,
+    /// Max connection/transfer latency in ticks (async scheduler only).
+    pub max_latency: u64,
     pub history: bool,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
+        let timing = TimingConfig::default();
         ExperimentConfig {
             topology: "ring".to_string(),
             nodes: 100,
             protocol: "uniform".to_string(),
+            scheduler: "sync".to_string(),
             messages: 1,
             seed: 1,
+            seeds: 1,
             max_rounds: None,
+            drift: timing.drift,
+            min_latency: timing.min_latency,
+            max_latency: timing.max_latency,
             history: false,
         }
     }
 }
 
+impl ExperimentConfig {
+    /// The async timing distributions implied by the CLI flags.
+    pub fn timing(&self) -> TimingConfig {
+        TimingConfig {
+            drift: self.drift,
+            min_latency: self.min_latency,
+            max_latency: self.max_latency,
+            ..TimingConfig::default()
+        }
+    }
+}
+
 /// Outcome of argument parsing: run an experiment, or print help.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     Run(ExperimentConfig),
     Help,
@@ -117,18 +159,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     return Err("--messages must be at least 1".to_string());
                 }
             }
+            "--scheduler" => {
+                cfg.scheduler = value("--scheduler")?;
+                if !SCHEDULER_NAMES.contains(&cfg.scheduler.as_str()) {
+                    return Err(format!(
+                        "unknown scheduler '{}' (expected one of {})",
+                        cfg.scheduler,
+                        SCHEDULER_NAMES.join(", ")
+                    ));
+                }
+            }
             "--seed" => {
                 let raw = value("--seed")?;
                 cfg.seed = raw
                     .parse::<u64>()
                     .map_err(|_| format!("--seed: '{raw}' is not a non-negative integer"))?;
             }
+            "--seeds" => {
+                cfg.seeds = parse_num(&value("--seeds")?, "--seeds")?;
+                if cfg.seeds == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+            }
             "--max-rounds" => {
                 cfg.max_rounds = Some(parse_num(&value("--max-rounds")?, "--max-rounds")?)
+            }
+            "--drift" => {
+                let raw = value("--drift")?;
+                cfg.drift = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("--drift: '{raw}' is not a number"))?;
+            }
+            "--min-latency" => {
+                cfg.min_latency = parse_num(&value("--min-latency")?, "--min-latency")? as u64;
+            }
+            "--max-latency" => {
+                cfg.max_latency = parse_num(&value("--max-latency")?, "--max-latency")? as u64;
             }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
     }
+    // One source of truth for timing ranges: the core validator that the
+    // async scheduler itself enforces.
+    cfg.timing()
+        .validate()
+        .map_err(|e| format!("invalid --drift/--min-latency/--max-latency: {e}"))?;
     Ok(Command::Run(cfg))
 }
 
@@ -153,10 +228,23 @@ pub fn build_topology(cfg: &ExperimentConfig) -> Topology {
     }
 }
 
-/// Run the configured experiment end to end.
+/// Build the scheduler named in the config.
+pub fn build_scheduler(cfg: &ExperimentConfig) -> Box<dyn Scheduler> {
+    match cfg.scheduler.as_str() {
+        "sync" => Box::new(SyncScheduler),
+        "async" => Box::new(AsyncScheduler {
+            timing: cfg.timing(),
+        }),
+        other => unreachable!("parse_args admitted unknown scheduler '{other}'"),
+    }
+}
+
+/// Run the configured experiment end to end (ignoring the sweep width;
+/// see [`run_sweep`] for multi-seed runs).
 pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult {
     let topology = build_topology(cfg);
     let protocol = by_name(&cfg.protocol).expect("parse_args validated the protocol name");
+    let scheduler = build_scheduler(cfg);
     let sources = random_sources(
         cfg.nodes,
         cfg.messages,
@@ -166,7 +254,25 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult {
         max_rounds: cfg.max_rounds.unwrap_or(100 + 60 * cfg.nodes),
         record_rounds: cfg.history,
     };
-    run(&topology, protocol.as_ref(), &sources, cfg.seed, &sim_cfg)
+    scheduler.run(&topology, protocol.as_ref(), &sources, cfg.seed, &sim_cfg)
+}
+
+/// Run the configured sweep lazily: `cfg.seeds` consecutive seeds
+/// starting at `cfg.seed`, each a fully independent experiment
+/// (randomized topologies and source placement are re-drawn per seed),
+/// yielded in seed order as each run finishes — so consumers can stream
+/// one JSON line per seed without buffering the whole sweep.
+pub fn run_sweep_iter(cfg: &ExperimentConfig) -> impl Iterator<Item = SimResult> + '_ {
+    (0..cfg.seeds as u64).map(move |offset| {
+        let mut one = cfg.clone();
+        one.seed = cfg.seed.wrapping_add(offset);
+        run_experiment(&one)
+    })
+}
+
+/// [`run_sweep_iter`], collected.
+pub fn run_sweep(cfg: &ExperimentConfig) -> Vec<SimResult> {
+    run_sweep_iter(cfg).collect()
 }
 
 /// Serialize a result as a single JSON object.
@@ -176,6 +282,8 @@ pub fn to_json(result: &SimResult) -> String {
     json_str(&mut out, "topology", &result.topology);
     out.push(',');
     json_str(&mut out, "protocol", &result.protocol);
+    out.push(',');
+    json_str(&mut out, "scheduler", &result.scheduler);
     out.push(',');
     json_num(&mut out, "nodes", result.nodes as u64);
     out.push(',');
@@ -191,6 +299,13 @@ pub fn to_json(result: &SimResult) -> String {
     }
     out.push(',');
     json_num(&mut out, "rounds_executed", result.rounds_executed as u64);
+    out.push(',');
+    json_num(&mut out, "virtual_time", result.virtual_time);
+    out.push(',');
+    match result.virtual_time_to_completion {
+        Some(t) => json_num(&mut out, "virtual_time_to_completion", t),
+        None => out.push_str("\"virtual_time_to_completion\":null"),
+    }
     out.push(',');
     json_num(
         &mut out,
@@ -312,6 +427,37 @@ mod tests {
         assert!(parse(&["--messages", "0"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--scheduler", "quantum"]).is_err());
+        assert!(parse(&["--seeds", "0"]).is_err());
+        assert!(parse(&["--drift", "1.0"]).is_err());
+        assert!(parse(&["--drift", "-0.5"]).is_err());
+        assert!(parse(&["--drift", "slow"]).is_err());
+        assert!(parse(&["--min-latency", "300", "--max-latency", "200"]).is_err());
+    }
+
+    #[test]
+    fn scheduler_and_timing_flags_parse() {
+        let cmd = parse(&[
+            "--scheduler",
+            "async",
+            "--seeds",
+            "8",
+            "--drift",
+            "0.25",
+            "--min-latency",
+            "10",
+            "--max-latency",
+            "500",
+        ])
+        .unwrap();
+        let Command::Run(cfg) = cmd else {
+            panic!("expected Run");
+        };
+        assert_eq!(cfg.scheduler, "async");
+        assert_eq!(cfg.seeds, 8);
+        assert_eq!(cfg.drift, 0.25);
+        assert_eq!(cfg.min_latency, 10);
+        assert_eq!(cfg.max_latency, 500);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use gossip_cli::{parse_args, run_experiment, to_json, Command, USAGE};
+use gossip_cli::{parse_args, run_sweep_iter, to_json, Command, USAGE};
 use std::io::Write;
 
 fn main() {
@@ -8,15 +8,18 @@ fn main() {
             let _ = std::io::stdout().write_all(USAGE.as_bytes());
         }
         Ok(Command::Run(cfg)) => {
-            let result = run_experiment(&cfg);
-            // Ignore write errors: a closed pipe (`gossip-sim | head`) is a
-            // normal way for a consumer to stop reading JSON.
-            let _ = writeln!(std::io::stdout(), "{}", to_json(&result));
-            if !result.completed {
-                eprintln!(
-                    "warning: gossip did not complete within {} rounds",
-                    result.rounds_executed
-                );
+            // One JSON line per swept seed (one line total by default),
+            // streamed as each run finishes.
+            for result in run_sweep_iter(&cfg) {
+                // Ignore write errors: a closed pipe (`gossip-sim | head`)
+                // is a normal way for a consumer to stop reading JSON.
+                let _ = writeln!(std::io::stdout(), "{}", to_json(&result));
+                if !result.completed {
+                    eprintln!(
+                        "warning: seed {}: gossip did not complete within {} rounds",
+                        result.seed, result.rounds_executed
+                    );
+                }
             }
         }
         Err(message) => {

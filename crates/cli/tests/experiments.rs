@@ -1,7 +1,7 @@
 //! End-to-end tests over the exact code path the `gossip-sim` binary runs:
 //! parse args, execute the experiment, serialize JSON.
 
-use gossip_cli::{parse_args, run_experiment, to_json, Command, ExperimentConfig};
+use gossip_cli::{parse_args, run_experiment, run_sweep, to_json, Command, ExperimentConfig};
 
 fn parse_run(args: &[&str]) -> ExperimentConfig {
     match parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()) {
@@ -136,4 +136,98 @@ fn experiments_are_reproducible() {
     let a = run_experiment(&cfg);
     let b = run_experiment(&cfg);
     assert_eq!(to_json(&a), to_json(&b));
+}
+
+#[test]
+fn async_scheduler_runs_end_to_end() {
+    let cfg = parse_run(&[
+        "--topology",
+        "ring",
+        "--nodes",
+        "200",
+        "--protocol",
+        "advert",
+        "--scheduler",
+        "async",
+        "--seed",
+        "42",
+        "--drift",
+        "0.2",
+        "--min-latency",
+        "16",
+        "--max-latency",
+        "128",
+    ]);
+    let result = run_experiment(&cfg);
+    assert!(result.completed, "async 200-node ring should complete");
+    let json = to_json(&result);
+    assert!(json.contains("\"scheduler\":\"async\""), "{json}");
+    assert!(json.contains("\"virtual_time\":"), "{json}");
+    assert!(json.contains("\"virtual_time_to_completion\":"), "{json}");
+    assert!(
+        !json.contains("\"virtual_time_to_completion\":null"),
+        "{json}"
+    );
+
+    // The async path is reproducible end to end, like the sync one.
+    assert_eq!(to_json(&run_experiment(&cfg)), json);
+}
+
+#[test]
+fn sync_results_report_virtual_time_alongside_rounds() {
+    let result = run_experiment(&parse_run(&["--nodes", "64"]));
+    assert!(result.completed);
+    let json = to_json(&result);
+    assert!(json.contains("\"scheduler\":\"sync\""), "{json}");
+    // 1024 ticks per round: virtual time mirrors the round count.
+    let rounds = result.rounds_to_completion.unwrap() as u64;
+    assert!(
+        json.contains(&format!("\"virtual_time_to_completion\":{}", rounds * 1024)),
+        "{json}"
+    );
+}
+
+#[test]
+fn seed_sweep_emits_one_result_per_distinct_seed() {
+    let cfg = parse_run(&[
+        "--topology",
+        "ring",
+        "--nodes",
+        "40",
+        "--seeds",
+        "5",
+        "--seed",
+        "100",
+    ]);
+    let results = run_sweep(&cfg);
+    assert_eq!(results.len(), 5, "one result per swept seed");
+    let seeds: Vec<u64> = results.iter().map(|r| r.seed).collect();
+    assert_eq!(
+        seeds,
+        vec![100, 101, 102, 103, 104],
+        "consecutive distinct seeds"
+    );
+    // One self-contained JSON line per seed, echoing that seed.
+    for result in &results {
+        let json = to_json(result);
+        assert!(!json.contains('\n'), "sweep output must be line-oriented");
+        assert!(
+            json.contains(&format!("\"seed\":{}", result.seed)),
+            "{json}"
+        );
+    }
+    // Sweeps cover genuinely different executions.
+    let distinct_rounds: std::collections::HashSet<_> =
+        results.iter().map(|r| r.rounds_to_completion).collect();
+    assert!(
+        distinct_rounds.len() > 1,
+        "5 seeds on a 40-ring should not all finish in identical rounds"
+    );
+}
+
+#[test]
+fn default_sweep_width_is_a_single_seed() {
+    let cfg = parse_run(&["--nodes", "30"]);
+    assert_eq!(cfg.seeds, 1);
+    assert_eq!(run_sweep(&cfg).len(), 1);
 }

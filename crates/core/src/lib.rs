@@ -22,17 +22,23 @@
 //! - [`Advertisement`]: the per-round tag a node broadcasts,
 //! - [`MessageSet`]: the gossip state (which rumors a node holds),
 //! - [`Intent`] / [`resolve_connections`]: connection proposals and the
-//!   matching resolver enforcing the one-connection-per-node invariant,
+//!   batch matching resolver enforcing the one-connection-per-node
+//!   invariant, plus [`IncrementalMatcher`], the event-at-a-time
+//!   counterpart for asynchronous executions,
+//! - [`SimTime`] / [`TimingConfig`]: virtual time and the drift/latency
+//!   distributions of the asynchronous mobile telephone model,
 //! - [`Rng`]: a small deterministic PRNG so whole simulations are seedable.
 
 pub mod matching;
 pub mod message;
 pub mod rng;
+pub mod time;
 pub mod topology;
 
-pub use matching::{resolve_connections, Connection, Intent};
+pub use matching::{resolve_connections, Connection, IncrementalMatcher, Intent, PeerState};
 pub use message::MessageSet;
 pub use rng::Rng;
+pub use time::{SimTime, TimingConfig, TICKS_PER_ROUND};
 pub use topology::Topology;
 
 /// Identifier of a node in a topology. Node ids are dense: a topology over

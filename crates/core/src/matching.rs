@@ -19,6 +19,12 @@
 //!    *maximal* over willing pairs: after resolution, no free proposer is
 //!    adjacent to a free listener. On a complete graph this means every
 //!    round's matching is maximal over the proposer/listener split.
+//!
+//! [`resolve_connections`] performs this resolution for a whole synchronous
+//! round in one batch. Event-driven schedulers instead resolve proposals
+//! one at a time as their connection events fire; [`IncrementalMatcher`]
+//! is the stateful counterpart that enforces the same
+//! one-connection-per-node invariant across those individual events.
 
 use crate::{NodeId, Rng, Topology};
 
@@ -122,6 +128,114 @@ pub fn resolve_connections(
     connections
 }
 
+/// A node's availability in an event-driven execution, tracked by
+/// [`IncrementalMatcher`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PeerState {
+    /// Not engaged on either side of a connection.
+    #[default]
+    Free,
+    /// Accepting at most one incoming proposal.
+    Listening,
+    /// Has a proposal in flight; cannot accept incoming proposals.
+    Proposing,
+    /// Engaged in an open connection (setup or transfer in progress).
+    Connected,
+}
+
+/// Incremental connection resolution for event-driven schedulers.
+///
+/// Where [`resolve_connections`] settles a synchronous round's intents in
+/// one batch, an asynchronous execution sees proposals *arrive* at their
+/// targets at different virtual times. `IncrementalMatcher` tracks every
+/// node's [`PeerState`] so that each arriving proposal can be resolved on
+/// the spot — [`try_connect`](Self::try_connect) succeeds exactly when the
+/// target is still listening and free — while the model's defining
+/// invariant holds at every instant: **a node is in at most one connection
+/// at a time**.
+///
+/// There is no rebound phase here: a failed proposer returns to its
+/// advertise/scan cycle and retries naturally in continuous time.
+#[derive(Clone, Debug)]
+pub struct IncrementalMatcher {
+    states: Vec<PeerState>,
+}
+
+impl IncrementalMatcher {
+    /// All `n` nodes start [`PeerState::Free`].
+    pub fn new(n: usize) -> Self {
+        IncrementalMatcher {
+            states: vec![PeerState::Free; n],
+        }
+    }
+
+    /// Current state of `node`.
+    pub fn state(&self, node: NodeId) -> PeerState {
+        self.states[node.index()]
+    }
+
+    /// `Free → Listening`: the node starts accepting proposals.
+    pub fn listen(&mut self, node: NodeId) {
+        debug_assert_eq!(self.states[node.index()], PeerState::Free);
+        self.states[node.index()] = PeerState::Listening;
+    }
+
+    /// `Free → Proposing`: the node commits to a proposal in flight.
+    pub fn propose(&mut self, node: NodeId) {
+        debug_assert_eq!(self.states[node.index()], PeerState::Free);
+        self.states[node.index()] = PeerState::Proposing;
+    }
+
+    /// `Listening | Proposing → Free`: a listener re-entering its scan
+    /// cycle, or a proposer whose attempt failed.
+    pub fn cancel(&mut self, node: NodeId) {
+        debug_assert!(matches!(
+            self.states[node.index()],
+            PeerState::Listening | PeerState::Proposing
+        ));
+        self.states[node.index()] = PeerState::Free;
+    }
+
+    /// Resolve `initiator`'s arriving proposal against `acceptor`.
+    ///
+    /// Succeeds — moving both endpoints to [`PeerState::Connected`] — iff
+    /// the acceptor is currently listening and the pair is an edge of
+    /// `topology`. The initiator must be [`PeerState::Proposing`]; on
+    /// failure it stays so (callers typically [`cancel`](Self::cancel) it
+    /// back into its scan cycle). Panics in debug builds if the proposal
+    /// targets a non-neighbor (a protocol bug); in release such proposals
+    /// simply fail.
+    pub fn try_connect(
+        &mut self,
+        topology: &Topology,
+        initiator: NodeId,
+        acceptor: NodeId,
+    ) -> bool {
+        debug_assert_eq!(self.states[initiator.index()], PeerState::Proposing);
+        debug_assert!(
+            topology.are_neighbors(initiator, acceptor),
+            "protocol proposed {initiator} -> {acceptor} across a non-edge"
+        );
+        if !topology.are_neighbors(initiator, acceptor)
+            || self.states[acceptor.index()] != PeerState::Listening
+        {
+            return false;
+        }
+        self.states[initiator.index()] = PeerState::Connected;
+        self.states[acceptor.index()] = PeerState::Connected;
+        true
+    }
+
+    /// `Connected → Free` for both endpoints: the transfer finished and
+    /// the connection closed.
+    pub fn release(&mut self, a: NodeId, b: NodeId) {
+        debug_assert_eq!(self.states[a.index()], PeerState::Connected);
+        debug_assert_eq!(self.states[b.index()], PeerState::Connected);
+        self.states[a.index()] = PeerState::Free;
+        self.states[b.index()] = PeerState::Free;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +291,65 @@ mod tests {
         ];
         let conns = resolve_connections(&topo, &intents, &mut Rng::new(8));
         assert_eq!(conns.len(), 2, "rebound phase should pair everyone");
+    }
+
+    #[test]
+    fn incremental_connect_requires_a_free_listener() {
+        let topo = Topology::line(3);
+        let mut m = IncrementalMatcher::new(3);
+        m.propose(NodeId(0));
+        // Target idle: the proposal is lost.
+        assert!(!m.try_connect(&topo, NodeId(0), NodeId(1)));
+        assert_eq!(m.state(NodeId(0)), PeerState::Proposing);
+        // Target listening: the connection forms.
+        m.listen(NodeId(1));
+        assert!(m.try_connect(&topo, NodeId(0), NodeId(1)));
+        assert_eq!(m.state(NodeId(0)), PeerState::Connected);
+        assert_eq!(m.state(NodeId(1)), PeerState::Connected);
+    }
+
+    #[test]
+    fn incremental_listener_accepts_at_most_one() {
+        // Both ends of a 3-line propose to the middle listener; only the
+        // first arriving proposal may connect.
+        let topo = Topology::line(3);
+        let mut m = IncrementalMatcher::new(3);
+        m.listen(NodeId(1));
+        m.propose(NodeId(0));
+        m.propose(NodeId(2));
+        assert!(m.try_connect(&topo, NodeId(0), NodeId(1)));
+        assert!(!m.try_connect(&topo, NodeId(2), NodeId(1)));
+        // The loser cancels back into its scan cycle.
+        m.cancel(NodeId(2));
+        assert_eq!(m.state(NodeId(2)), PeerState::Free);
+    }
+
+    #[test]
+    fn incremental_release_frees_both_endpoints() {
+        let topo = Topology::line(2);
+        let mut m = IncrementalMatcher::new(2);
+        m.listen(NodeId(1));
+        m.propose(NodeId(0));
+        assert!(m.try_connect(&topo, NodeId(0), NodeId(1)));
+        m.release(NodeId(0), NodeId(1));
+        assert_eq!(m.state(NodeId(0)), PeerState::Free);
+        assert_eq!(m.state(NodeId(1)), PeerState::Free);
+        // Both endpoints can immediately engage again.
+        m.listen(NodeId(0));
+        m.propose(NodeId(1));
+        assert!(m.try_connect(&topo, NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn incremental_proposing_node_cannot_accept() {
+        // Two nodes propose to each other: neither is listening, so both
+        // arriving proposals fail — exactly the mutual-proposal loss the
+        // batch resolver models.
+        let topo = Topology::line(2);
+        let mut m = IncrementalMatcher::new(2);
+        m.propose(NodeId(0));
+        m.propose(NodeId(1));
+        assert!(!m.try_connect(&topo, NodeId(0), NodeId(1)));
+        assert!(!m.try_connect(&topo, NodeId(1), NodeId(0)));
     }
 }

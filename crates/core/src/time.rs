@@ -1,0 +1,277 @@
+//! Virtual time and timing distributions for event-driven executions.
+//!
+//! The synchronous mobile telephone model measures executions in rounds;
+//! the asynchronous variant (Newport, Weaver & Zheng 2021) replaces the
+//! global round clock with per-node local clocks that drift, advertisement
+//! refreshes that fire on randomized intervals, and connections whose
+//! setup and transfer take variable latency. This module provides the
+//! shared vocabulary for that world:
+//!
+//! - [`SimTime`]: a point in virtual time, measured in integer ticks so
+//!   event ordering is exact (no float comparison in the event queue),
+//! - [`TICKS_PER_ROUND`]: the conversion constant that makes virtual-time
+//!   results comparable with synchronous round counts,
+//! - [`TimingConfig`]: the drift/jitter/latency distributions an
+//!   event-driven scheduler samples, all deterministically from [`Rng`].
+
+use crate::Rng;
+
+/// Virtual-time ticks corresponding to one synchronous round.
+///
+/// One tick is the resolution of the event queue; one round's worth of
+/// ticks is the nominal advertisement refresh period of an undrifted node.
+/// Reporting virtual time in units of `TICKS_PER_ROUND` makes asynchronous
+/// completion times directly comparable to synchronous round counts.
+pub const TICKS_PER_ROUND: u64 = 1024;
+
+/// A point in virtual time: ticks elapsed since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The start of every run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The instant `delay` ticks later (saturating at the far future).
+    #[inline]
+    pub fn after(self, delay: u64) -> SimTime {
+        SimTime(self.0.saturating_add(delay))
+    }
+
+    /// This instant expressed in synchronous-round equivalents, rounded
+    /// up: time zero is round 0, and any instant in `((r-1), r]` rounds'
+    /// worth of ticks maps to round `r`. This mirrors the engine's 1-based
+    /// round numbering so async completion times slot into the same
+    /// metrics.
+    #[inline]
+    pub fn round_equivalent(self) -> usize {
+        self.0.div_ceil(TICKS_PER_ROUND) as usize
+    }
+
+    /// The coarse epoch this instant falls in: `ticks / TICKS_PER_ROUND`.
+    ///
+    /// Event-driven schedulers use the epoch where the synchronous engine
+    /// uses the round number — e.g. as the advertisement-tag salt — so
+    /// nodes acting around the same virtual time agree on the salt despite
+    /// having no shared round counter.
+    #[inline]
+    pub fn epoch(self) -> u64 {
+        self.0 / TICKS_PER_ROUND
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+/// Distributions governing an asynchronous execution. All sampling is
+/// deterministic given the [`Rng`], so event-driven runs are exactly
+/// reproducible from a seed.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingConfig {
+    /// Maximum relative clock drift. Each node draws a fixed clock-period
+    /// factor uniformly from `[1 - drift, 1 + drift]`; a node with factor
+    /// 1.1 refreshes its advertisement ~10% slower than nominal. Must lie
+    /// in `[0, 1)`.
+    pub drift: f64,
+    /// Per-refresh jitter. Every advertisement refresh interval is
+    /// additionally scaled by a fresh uniform draw from
+    /// `[1 - refresh_jitter, 1 + refresh_jitter]`, so refreshes never
+    /// phase-lock across nodes. Must lie in `[0, 1)`.
+    pub refresh_jitter: f64,
+    /// Minimum connection-setup / transfer latency, in ticks.
+    pub min_latency: u64,
+    /// Maximum connection-setup / transfer latency, in ticks. Must be at
+    /// least `min_latency`.
+    pub max_latency: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            drift: 0.1,
+            refresh_jitter: 0.25,
+            min_latency: 32,
+            max_latency: 256,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// Check the parameter ranges documented on each field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.drift) {
+            return Err(format!("drift {} must lie in [0, 1)", self.drift));
+        }
+        if !(0.0..1.0).contains(&self.refresh_jitter) {
+            return Err(format!(
+                "refresh jitter {} must lie in [0, 1)",
+                self.refresh_jitter
+            ));
+        }
+        if self.min_latency > self.max_latency {
+            return Err(format!(
+                "min latency {} exceeds max latency {}",
+                self.min_latency, self.max_latency
+            ));
+        }
+        Ok(())
+    }
+
+    /// Draw a node's fixed clock-period factor from `[1 - drift, 1 + drift]`.
+    pub fn drift_factor(&self, rng: &mut Rng) -> f64 {
+        1.0 + (2.0 * rng.gen_f64() - 1.0) * self.drift
+    }
+
+    /// Draw the delay until a node's next advertisement refresh: the
+    /// nominal period of [`TICKS_PER_ROUND`] ticks, scaled by the node's
+    /// `drift_factor` and fresh jitter. Always at least one tick, so event
+    /// chains can never stall at a single instant.
+    pub fn refresh_interval(&self, drift_factor: f64, rng: &mut Rng) -> u64 {
+        let jitter = 1.0 + (2.0 * rng.gen_f64() - 1.0) * self.refresh_jitter;
+        ((TICKS_PER_ROUND as f64 * drift_factor * jitter) as u64).max(1)
+    }
+
+    /// Draw one connection-setup or transfer latency, uniform over
+    /// `[min_latency, max_latency]` ticks.
+    pub fn latency(&self, rng: &mut Rng) -> u64 {
+        let span = self.max_latency - self.min_latency;
+        if span == u64::MAX {
+            // [0, u64::MAX]: the +1 below would overflow; the raw output
+            // is already uniform over the whole domain.
+            return rng.next_u64();
+        }
+        self.min_latency + rng.gen_range((span + 1) as usize) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_equivalents_are_one_based_like_engine_rounds() {
+        assert_eq!(SimTime::ZERO.round_equivalent(), 0);
+        assert_eq!(SimTime(1).round_equivalent(), 1);
+        assert_eq!(SimTime(TICKS_PER_ROUND).round_equivalent(), 1);
+        assert_eq!(SimTime(TICKS_PER_ROUND + 1).round_equivalent(), 2);
+    }
+
+    #[test]
+    fn epochs_partition_time_into_round_sized_slabs() {
+        assert_eq!(SimTime(0).epoch(), 0);
+        assert_eq!(SimTime(TICKS_PER_ROUND - 1).epoch(), 0);
+        assert_eq!(SimTime(TICKS_PER_ROUND).epoch(), 1);
+    }
+
+    #[test]
+    fn after_saturates_instead_of_wrapping() {
+        assert_eq!(SimTime(5).after(7), SimTime(12));
+        assert_eq!(SimTime(u64::MAX).after(1), SimTime(u64::MAX));
+    }
+
+    #[test]
+    fn drift_factors_stay_in_band() {
+        let cfg = TimingConfig {
+            drift: 0.2,
+            ..TimingConfig::default()
+        };
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            let f = cfg.drift_factor(&mut rng);
+            assert!((0.8..=1.2).contains(&f), "drift factor {f} out of band");
+        }
+    }
+
+    #[test]
+    fn refresh_intervals_stay_in_band_and_vary() {
+        let cfg = TimingConfig::default();
+        let mut rng = Rng::new(9);
+        let lo = (TICKS_PER_ROUND as f64 * 0.9 * 0.75) as u64;
+        let hi = (TICKS_PER_ROUND as f64 * 1.1 * 1.25) as u64;
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let f = cfg.drift_factor(&mut rng);
+            let iv = cfg.refresh_interval(f, &mut rng);
+            assert!((lo..=hi).contains(&iv), "interval {iv} outside [{lo},{hi}]");
+            distinct.insert(iv);
+        }
+        assert!(distinct.len() > 50, "intervals should be well spread");
+    }
+
+    #[test]
+    fn latency_is_uniform_over_the_closed_range() {
+        let cfg = TimingConfig {
+            min_latency: 4,
+            max_latency: 7,
+            ..TimingConfig::default()
+        };
+        let mut rng = Rng::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let l = cfg.latency(&mut rng);
+            assert!((4..=7).contains(&l));
+            seen[l as usize] = true;
+        }
+        assert!(seen[4] && seen[5] && seen[6] && seen[7]);
+    }
+
+    #[test]
+    fn latency_over_the_full_domain_does_not_overflow() {
+        let cfg = TimingConfig {
+            min_latency: 0,
+            max_latency: u64::MAX,
+            ..TimingConfig::default()
+        };
+        let mut rng = Rng::new(2);
+        for _ in 0..100 {
+            // Any draw is in range by construction; this must not panic.
+            cfg.latency(&mut rng);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let cfg = TimingConfig::default();
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(cfg.latency(&mut a), cfg.latency(&mut b));
+            let (fa, fb) = (cfg.drift_factor(&mut a), cfg.drift_factor(&mut b));
+            assert_eq!(fa, fb);
+            assert_eq!(
+                cfg.refresh_interval(fa, &mut a),
+                cfg.refresh_interval(fb, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_ranges() {
+        let ok = TimingConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(TimingConfig { drift: 1.0, ..ok }.validate().is_err());
+        assert!(TimingConfig { drift: -0.1, ..ok }.validate().is_err());
+        assert!(TimingConfig {
+            refresh_jitter: 1.5,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(TimingConfig {
+            min_latency: 10,
+            max_latency: 5,
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+}

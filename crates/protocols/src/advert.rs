@@ -79,7 +79,7 @@ impl AdvertGossip {
     /// meaningful, so any differing neighbor is a candidate and roles are
     /// symmetric coin flips.
     fn decide_hashed(&self, ctx: &NodeCtx<'_>, rng: &mut Rng) -> Intent {
-        let mine = ctx.messages.fingerprint_salted(ctx.round as u64);
+        let mine = ctx.messages.fingerprint_salted(ctx.salt);
         let mut diff_count = 0usize;
         let mut pick = 0usize;
         for (i, ad) in ctx.neighbor_ads.iter().enumerate() {
@@ -105,8 +105,8 @@ impl GossipProtocol for AdvertGossip {
         "advert"
     }
 
-    fn advertise(&self, messages: &MessageSet, round: usize) -> Advertisement {
-        Advertisement(messages.fingerprint_salted(round as u64))
+    fn advertise(&self, messages: &MessageSet, salt: u64) -> Advertisement {
+        Advertisement(messages.fingerprint_salted(salt))
     }
 
     fn decide(&self, ctx: &NodeCtx<'_>, rng: &mut Rng) -> Intent {
@@ -135,11 +135,11 @@ mod tests {
         messages: &'a MessageSet,
         neighbors: &'a [NodeId],
         ads: &'a [Advertisement],
-        round: usize,
+        salt: u64,
     ) -> NodeCtx<'a> {
         NodeCtx {
             id: NodeId(0),
-            round,
+            salt,
             messages,
             neighbors,
             neighbor_ads: ads,

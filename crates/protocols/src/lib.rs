@@ -22,17 +22,27 @@ pub use uniform::UniformGossip;
 
 use gossip_core::{Advertisement, Intent, MessageSet, NodeId, Rng};
 
-/// Everything a node is allowed to see when committing its round intent:
-/// its own state plus the scanned advertisements of its neighbors. The
-/// round number is shared knowledge in a synchronous model and lets
-/// protocols salt their tags per round.
+/// Everything a node is allowed to see when committing a connection
+/// intent: its own state plus a snapshot of its neighborhood — the most
+/// recent advertisement scanned from each neighbor.
+///
+/// The context is scheduler-agnostic. Under the synchronous engine the
+/// snapshot is exactly "this round's advertisements" and `salt` is the
+/// shared round number; under an event-driven scheduler the snapshot holds
+/// whatever each neighbor last published (possibly stale) and `salt` is a
+/// coarse virtual-time epoch. Protocols observe only the snapshot, so the
+/// same implementation runs unmodified under both schedulers.
 pub struct NodeCtx<'a> {
     pub id: NodeId,
-    pub round: usize,
+    /// Tag-salting value shared (at least approximately) across nodes:
+    /// the round number under the synchronous scheduler, the virtual-time
+    /// epoch under an asynchronous one. Protocols hashing their tags mix
+    /// this in so stale hash collisions cannot persist.
+    pub salt: u64,
     pub messages: &'a MessageSet,
     /// Neighbors in the topology, parallel to `neighbor_ads`.
     pub neighbors: &'a [NodeId],
-    /// Advertisement scanned from each neighbor this round.
+    /// The advertisement most recently scanned from each neighbor.
     pub neighbor_ads: &'a [Advertisement],
 }
 
@@ -42,11 +52,12 @@ pub trait GossipProtocol {
     /// Stable protocol name, used in CLI selection and reporting.
     fn name(&self) -> &'static str;
 
-    /// The tag this node broadcasts during the advertisement phase of
-    /// `round`.
-    fn advertise(&self, messages: &MessageSet, round: usize) -> Advertisement;
+    /// The tag this node broadcasts when it (re)advertises. `salt` is the
+    /// same value later visible as [`NodeCtx::salt`] to scanners of this
+    /// tag's generation.
+    fn advertise(&self, messages: &MessageSet, salt: u64) -> Advertisement;
 
-    /// The node's connection-phase intent, after scanning neighbor tags.
+    /// The node's connection intent, after scanning neighbor tags.
     fn decide(&self, ctx: &NodeCtx<'_>, rng: &mut Rng) -> Intent;
 }
 

@@ -15,7 +15,7 @@ impl GossipProtocol for UniformGossip {
         "uniform"
     }
 
-    fn advertise(&self, _messages: &MessageSet, _round: usize) -> Advertisement {
+    fn advertise(&self, _messages: &MessageSet, _salt: u64) -> Advertisement {
         Advertisement(0)
     }
 
@@ -41,7 +41,7 @@ mod tests {
         let messages = MessageSet::new(1);
         let ctx = NodeCtx {
             id: NodeId(0),
-            round: 1,
+            salt: 1,
             messages: &messages,
             neighbors: &[],
             neighbor_ads: &[],
@@ -56,7 +56,7 @@ mod tests {
         let ads = [Advertisement(0), Advertisement(0)];
         let ctx = NodeCtx {
             id: NodeId(0),
-            round: 1,
+            salt: 1,
             messages: &messages,
             neighbors: &neighbors,
             neighbor_ads: &ads,

@@ -1,0 +1,350 @@
+//! The asynchronous event-driven scheduler.
+//!
+//! The follow-up to the PODC 2017 paper ("Asynchronous Gossip in
+//! Smartphone Peer-to-Peer Networks", Newport, Weaver & Zheng 2021)
+//! drops the synchronized-round assumption: real smartphone meshes have
+//! per-device clock drift, advertisement refreshes on OS-controlled
+//! timers, and connections whose setup and transfer take variable time.
+//! [`AsyncScheduler`] models that world with a binary-heap event queue
+//! over integer virtual time ([`SimTime`]):
+//!
+//! - every node runs an **act cycle** on its own drifted clock: refresh
+//!   the advertisement, scan the *current* (possibly stale) tags of its
+//!   neighbors, and commit an [`Intent`] through the unchanged
+//!   [`GossipProtocol`] trait;
+//! - a `Propose(v)` intent schedules a connection **attempt** that
+//!   arrives at `v` after a sampled latency; the attempt resolves
+//!   *incrementally* against `v`'s state at arrival time via
+//!   [`IncrementalMatcher`] — there is no global matching batch;
+//! - a formed connection holds both endpoints busy for a sampled
+//!   transfer latency, then the push-pull union fires and both return to
+//!   their act cycles.
+//!
+//! Everything — drift factors, refresh jitter, latencies, protocol coin
+//! flips — is drawn from the single seeded [`Rng`], and events are
+//! ordered by `(time, sequence-number)`, so runs are exactly reproducible
+//! from the seed.
+
+use crate::metrics::RoundStats;
+use crate::scheduler::{init_run, ordered_pair, Scheduler};
+use crate::{SimConfig, SimResult};
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use gossip_core::time::{SimTime, TimingConfig, TICKS_PER_ROUND};
+use gossip_core::{
+    Advertisement, IncrementalMatcher, Intent, MessageSet, NodeId, PeerState, Rng, Topology,
+};
+use gossip_protocols::{GossipProtocol, NodeCtx};
+
+/// Event-driven scheduler for the asynchronous mobile telephone model.
+///
+/// `config.max_rounds` is interpreted as a virtual-time cap of
+/// `max_rounds ×` [`TICKS_PER_ROUND`] ticks, so the same [`SimConfig`]
+/// bounds both schedulers comparably. Reported `rounds_executed` /
+/// `rounds_to_completion` are round *equivalents* of the virtual time
+/// (see [`SimTime::round_equivalent`]); with `record_rounds` set, one
+/// [`RoundStats`] entry is recorded per elapsed round-sized epoch, and a
+/// connection is counted in the epoch in which its transfer completes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AsyncScheduler {
+    /// Drift, refresh-jitter, and latency distributions for the run.
+    pub timing: TimingConfig,
+}
+
+/// What happens when a scheduled event fires.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A node's act cycle: refresh advertisement, scan, decide.
+    Act(NodeId),
+    /// `from`'s proposal arrives at `to` after connection-setup latency.
+    Attempt { from: NodeId, to: NodeId },
+    /// The transfer over a formed connection completes.
+    Finish { initiator: NodeId, acceptor: NodeId },
+}
+
+/// Heap entry: events fire in `(time, seq)` order. `seq` is a unique,
+/// monotonically increasing tie-breaker, so simultaneous events fire in
+/// scheduling order and the execution is deterministic.
+#[derive(Clone, Copy, Debug)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    // Reversed: BinaryHeap is a max-heap, and we want the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Scheduler for AsyncScheduler {
+    fn name(&self) -> &'static str {
+        "async"
+    }
+
+    fn run(
+        &self,
+        topology: &Topology,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult {
+        self.timing
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid timing config: {e}"));
+        let n = topology.num_nodes();
+        let mut rng = Rng::new(seed);
+        let (mut states, mut result) = init_run(topology, protocol, "async", sources, seed, config);
+        if result.completed {
+            return result;
+        }
+        let mut complete_nodes = result.complete_nodes;
+        let mut messages_held: usize = states.iter().map(MessageSet::count).sum();
+
+        let max_time = (config.max_rounds as u64).saturating_mul(TICKS_PER_ROUND);
+        let drift_factors: Vec<f64> = (0..n).map(|_| self.timing.drift_factor(&mut rng)).collect();
+        // Every node publishes an initial epoch-0 tag before anyone scans.
+        let mut ads: Vec<Advertisement> = states.iter().map(|s| protocol.advertise(s, 0)).collect();
+        let mut matcher = IncrementalMatcher::new(n);
+        let mut ad_scratch: Vec<Advertisement> = Vec::new();
+
+        let mut heap: BinaryHeap<Scheduled> = BinaryHeap::with_capacity(2 * n);
+        let mut seq: u64 = 0;
+        let mut push = |heap: &mut BinaryHeap<Scheduled>, time: SimTime, event: Event| {
+            heap.push(Scheduled {
+                time,
+                seq: {
+                    seq += 1;
+                    seq
+                },
+                event,
+            });
+        };
+
+        // Stagger initial act cycles uniformly over the first nominal
+        // period, so the network does not start phase-locked.
+        for u in 0..n {
+            let offset = rng.gen_range(TICKS_PER_ROUND as usize) as u64;
+            push(&mut heap, SimTime(offset), Event::Act(NodeId(u as u32)));
+        }
+
+        // Per-epoch accounting for optional history recording. An event at
+        // time `t` belongs to row `ceil(t / TICKS_PER_ROUND)` — round `r`
+        // covers `((r-1)·TPR, r·TPR]`, matching
+        // [`SimTime::round_equivalent`] — so a transfer landing exactly on
+        // a round boundary counts toward the round that ends there, never
+        // a dropped `rounds_executed + 1`.
+        let mut epochs = EpochAccounting::default();
+
+        let mut now = SimTime::ZERO;
+        while let Some(ev) = heap.pop() {
+            if ev.time.ticks() > max_time {
+                now = SimTime(max_time);
+                break;
+            }
+            now = ev.time;
+
+            if let Some(history) = &mut result.rounds {
+                // Flush rows strictly before this event's row, so its
+                // counters accumulate into the right (still-open) row.
+                let event_row = now.round_equivalent().max(1);
+                epochs.flush_rows_below(history, event_row, complete_nodes, messages_held);
+            }
+
+            match ev.event {
+                Event::Act(u) => {
+                    let ui = u.index();
+                    match matcher.state(u) {
+                        PeerState::Connected => {
+                            // Captured as a listener mid-connection: keep
+                            // the act chain alive and re-decide later.
+                            let delay = self.timing.refresh_interval(drift_factors[ui], &mut rng);
+                            push(&mut heap, now.after(delay), Event::Act(u));
+                        }
+                        PeerState::Proposing => {
+                            // A proposing node's chain is owned by its
+                            // Attempt event, so rescheduling here would
+                            // fork the chain; dropping the stale Act is
+                            // the safe release-mode recovery (the Attempt
+                            // always restarts the cycle), while debug
+                            // builds flag the broken invariant loudly.
+                            debug_assert!(false, "act event fired for a proposing node");
+                        }
+                        state => {
+                            if state == PeerState::Listening {
+                                matcher.cancel(u);
+                            }
+                            let epoch = now.epoch();
+                            ads[ui] = protocol.advertise(&states[ui], epoch);
+                            let neighbors = topology.neighbors(u);
+                            ad_scratch.clear();
+                            ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
+                            let ctx = NodeCtx {
+                                id: u,
+                                salt: epoch,
+                                messages: &states[ui],
+                                neighbors,
+                                neighbor_ads: &ad_scratch,
+                            };
+                            match protocol.decide(&ctx, &mut rng) {
+                                Intent::Idle => {
+                                    let delay =
+                                        self.timing.refresh_interval(drift_factors[ui], &mut rng);
+                                    push(&mut heap, now.after(delay), Event::Act(u));
+                                }
+                                Intent::Listen => {
+                                    matcher.listen(u);
+                                    let delay =
+                                        self.timing.refresh_interval(drift_factors[ui], &mut rng);
+                                    push(&mut heap, now.after(delay), Event::Act(u));
+                                }
+                                Intent::Propose(v) => {
+                                    matcher.propose(u);
+                                    let delay = self.timing.latency(&mut rng);
+                                    push(
+                                        &mut heap,
+                                        now.after(delay),
+                                        Event::Attempt { from: u, to: v },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                Event::Attempt { from, to } => {
+                    if matcher.try_connect(topology, from, to) {
+                        let delay = self.timing.latency(&mut rng);
+                        push(
+                            &mut heap,
+                            now.after(delay),
+                            Event::Finish {
+                                initiator: from,
+                                acceptor: to,
+                            },
+                        );
+                    } else {
+                        // Lost proposal: back to the act cycle; the retry
+                        // happens naturally at the next refresh.
+                        matcher.cancel(from);
+                        let delay = self
+                            .timing
+                            .refresh_interval(drift_factors[from.index()], &mut rng);
+                        push(&mut heap, now.after(delay), Event::Act(from));
+                    }
+                }
+                Event::Finish {
+                    initiator,
+                    acceptor,
+                } => {
+                    let (a, b) = ordered_pair(&mut states, initiator.index(), acceptor.index());
+                    let before_a = a.is_full();
+                    let before_b = b.is_full();
+                    let moved = a.union_with(b) + b.union_with(a);
+                    complete_nodes += (a.is_full() && !before_a) as usize;
+                    complete_nodes += (b.is_full() && !before_b) as usize;
+                    messages_held += moved;
+
+                    result.total_connections += 1;
+                    if moved > 0 {
+                        result.productive_connections += 1;
+                        epochs.productive += 1;
+                    } else {
+                        result.wasted_connections += 1;
+                    }
+                    epochs.connections += 1;
+
+                    matcher.release(initiator, acceptor);
+                    // The acceptor's act chain stayed alive while it was
+                    // connected; only the initiator's needs restarting.
+                    let delay = self
+                        .timing
+                        .refresh_interval(drift_factors[initiator.index()], &mut rng);
+                    push(&mut heap, now.after(delay), Event::Act(initiator));
+
+                    if complete_nodes == n {
+                        result.completed = true;
+                        result.virtual_time_to_completion = Some(now.ticks());
+                        result.rounds_to_completion = Some(now.round_equivalent());
+                        break;
+                    }
+                }
+            }
+        }
+
+        result.complete_nodes = complete_nodes;
+        result.virtual_time = now.ticks().min(max_time);
+        result.rounds_executed = SimTime(result.virtual_time)
+            .round_equivalent()
+            .min(config.max_rounds);
+
+        if let Some(history) = &mut result.rounds {
+            // Flush remaining epochs (including the final partial one) so
+            // the history covers exactly `rounds_executed` rows.
+            epochs.flush_rows_below(
+                history,
+                result.rounds_executed + 1,
+                complete_nodes,
+                messages_held,
+            );
+        }
+        result
+    }
+}
+
+/// Accumulators for the optional per-epoch [`RoundStats`] history of an
+/// asynchronous run: counters for the currently open row, plus the number
+/// of rows already flushed.
+#[derive(Default)]
+struct EpochAccounting {
+    /// Rows already flushed; the open row is number `flushed + 1`.
+    flushed: usize,
+    /// Connections completing transfers in the open row so far.
+    connections: usize,
+    /// Productive connections in the open row so far.
+    productive: usize,
+}
+
+impl EpochAccounting {
+    /// Close and record every row numbered strictly below `row`, leaving
+    /// `row` as the open row accumulating subsequent counters. Rows stay
+    /// dense and 1-based like synchronous rounds; both the in-loop flush
+    /// (before each event) and the final drain route through here so the
+    /// attribution rule cannot diverge between them.
+    fn flush_rows_below(
+        &mut self,
+        history: &mut Vec<RoundStats>,
+        row: usize,
+        complete_nodes: usize,
+        messages_held: usize,
+    ) {
+        while self.flushed + 1 < row {
+            history.push(RoundStats {
+                round: self.flushed + 1,
+                connections: self.connections,
+                productive: self.productive,
+                complete_nodes,
+                messages_held,
+            });
+            self.connections = 0;
+            self.productive = 0;
+            self.flushed += 1;
+        }
+    }
+}

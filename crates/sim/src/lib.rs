@@ -1,30 +1,60 @@
-//! Deterministic round-based simulation engine for gossip in the mobile
-//! telephone model.
+//! Deterministic simulation engines for gossip in the mobile telephone
+//! model, behind a pluggable [`Scheduler`] abstraction.
 //!
-//! The engine drives any [`GossipProtocol`] over any [`Topology`] through
-//! the model's round structure — advertise → scan → connect → transfer —
-//! and records the metrics the paper analyzes: rounds to completion,
-//! connections formed, and how many of those connections were wasted.
+//! Two execution models drive any [`gossip_protocols::GossipProtocol`]
+//! over any [`Topology`]:
 //!
-//! Everything is deterministic given the seed: the same `(topology,
-//! protocol, sources, seed)` quadruple always reproduces the same run,
-//! which is what makes regression tests on round counts possible.
+//! - [`SyncScheduler`] — the PODC 2017 round structure: globally
+//!   synchronized advertise → scan → connect → transfer rounds with batch
+//!   connection resolution. [`run`] is a convenience wrapper for it.
+//! - [`AsyncScheduler`] — the asynchronous variant (Newport, Weaver &
+//!   Zheng 2021): a binary-heap event queue with per-node clock drift,
+//!   randomized advertisement refresh intervals, and variable
+//!   connection/transfer latency, resolving proposals incrementally as
+//!   their events fire.
+//!
+//! Both record the metrics the papers analyze — rounds (or virtual time)
+//! to completion, connections formed, and how many of those connections
+//! were wasted — and both are deterministic given the seed: the same
+//! `(topology, protocol, sources, seed, config)` tuple always reproduces
+//! the same run, which is what makes regression tests on round counts and
+//! completion times possible.
 
+mod event_driven;
 mod metrics;
+mod scheduler;
 
+pub use event_driven::AsyncScheduler;
 pub use metrics::{RoundStats, SimResult};
+pub use scheduler::{Scheduler, SyncScheduler};
 
-use gossip_core::{resolve_connections, Advertisement, Intent, MessageSet, NodeId, Rng, Topology};
-use gossip_protocols::{GossipProtocol, NodeCtx};
+use gossip_core::{NodeId, Rng, Topology};
+use gossip_protocols::GossipProtocol;
 
-/// Engine knobs independent of topology and protocol.
+/// Engine knobs independent of topology, protocol, and scheduler.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
     /// Hard cap on rounds; the run stops uncompleted when it is reached.
+    /// The asynchronous scheduler interprets this as the equivalent
+    /// virtual-time cap of `max_rounds ×`
+    /// [`gossip_core::time::TICKS_PER_ROUND`] ticks.
     pub max_rounds: usize,
-    /// Record a [`RoundStats`] entry per round (costs memory on long runs).
+    /// Record a [`RoundStats`] entry per round (per round-sized epoch
+    /// under the asynchronous scheduler).
+    ///
+    /// **Cost:** the history buffer is pre-allocated up front to its
+    /// worst case of `max_rounds` entries (capped at
+    /// [`HISTORY_PREALLOC_CAP`], ~40 bytes per entry) so long runs never
+    /// pay repeated reallocation-and-copy of a growing `Vec`; a run with
+    /// the default 100 000-round cap reserves ~4 MB. Leave this off for
+    /// bulk parameter sweeps.
     pub record_rounds: bool,
 }
+
+/// Upper bound on the number of [`RoundStats`] entries pre-allocated for
+/// `record_rounds`; pathological `max_rounds` values beyond this grow the
+/// history vector on demand instead of reserving absurd memory up front.
+pub const HISTORY_PREALLOC_CAP: usize = 1 << 20;
 
 impl Default for SimConfig {
     fn default() -> Self {
@@ -32,6 +62,14 @@ impl Default for SimConfig {
             max_rounds: 100_000,
             record_rounds: false,
         }
+    }
+}
+
+impl SimConfig {
+    /// The pre-sized history buffer described on
+    /// [`record_rounds`](Self::record_rounds).
+    pub(crate) fn history_vec(&self) -> Vec<RoundStats> {
+        Vec::with_capacity(self.max_rounds.min(HISTORY_PREALLOC_CAP))
     }
 }
 
@@ -44,8 +82,11 @@ pub fn random_sources(n: usize, k: usize, rng: &mut Rng) -> Vec<NodeId> {
     (0..k).map(|m| NodeId(ids[m % n])).collect()
 }
 
-/// Run one simulation: message `m` starts at `sources[m]`, and the run ends
-/// when every node holds every message or `config.max_rounds` is hit.
+/// Run one simulation under the synchronous round-based scheduler:
+/// message `m` starts at `sources[m]`, and the run ends when every node
+/// holds every message or `config.max_rounds` is hit. Equivalent to
+/// [`SyncScheduler`]`.run(...)`; use a [`Scheduler`] trait object to pick
+/// the execution model at runtime.
 pub fn run(
     topology: &Topology,
     protocol: &dyn GossipProtocol,
@@ -53,117 +94,7 @@ pub fn run(
     seed: u64,
     config: &SimConfig,
 ) -> SimResult {
-    let n = topology.num_nodes();
-    let k = sources.len();
-    assert!(n > 0, "cannot simulate an empty topology");
-    assert!(k > 0, "gossip needs at least one message");
-
-    let mut rng = Rng::new(seed);
-    let mut states: Vec<MessageSet> = (0..n).map(|_| MessageSet::new(k)).collect();
-    for (m, &node) in sources.iter().enumerate() {
-        states[node.index()].insert(m);
-    }
-
-    let mut complete_nodes = states.iter().filter(|s| s.is_full()).count();
-    let mut result = SimResult {
-        topology: topology.name().to_string(),
-        protocol: protocol.name().to_string(),
-        nodes: n,
-        messages: k,
-        seed,
-        completed: complete_nodes == n,
-        rounds_to_completion: if complete_nodes == n { Some(0) } else { None },
-        rounds_executed: 0,
-        total_connections: 0,
-        productive_connections: 0,
-        wasted_connections: 0,
-        complete_nodes,
-        rounds: config.record_rounds.then(Vec::new),
-    };
-    if result.completed {
-        return result;
-    }
-
-    let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
-    let mut intents: Vec<Intent> = vec![Intent::Idle; n];
-    let mut ad_scratch: Vec<Advertisement> = Vec::new();
-
-    for round in 1..=config.max_rounds {
-        // Phase 1+2: advertise, then every node scans and commits an intent.
-        for (ad, state) in ads.iter_mut().zip(&states) {
-            *ad = protocol.advertise(state, round);
-        }
-        for u in 0..n {
-            let id = NodeId(u as u32);
-            let neighbors = topology.neighbors(id);
-            ad_scratch.clear();
-            ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
-            let ctx = NodeCtx {
-                id,
-                round,
-                messages: &states[u],
-                neighbors,
-                neighbor_ads: &ad_scratch,
-            };
-            intents[u] = protocol.decide(&ctx, &mut rng);
-        }
-
-        // Phase 3: connection resolution (the matching).
-        let connections = resolve_connections(topology, &intents, &mut rng);
-
-        // Phase 4: push-pull transfer over each connection.
-        let mut productive = 0;
-        for c in &connections {
-            let (a, b) = ordered_pair(&mut states, c.initiator.index(), c.acceptor.index());
-            let before_a = a.is_full();
-            let before_b = b.is_full();
-            let moved = a.union_with(b) + b.union_with(a);
-            if moved > 0 {
-                productive += 1;
-            }
-            complete_nodes += (a.is_full() && !before_a) as usize;
-            complete_nodes += (b.is_full() && !before_b) as usize;
-        }
-
-        result.rounds_executed = round;
-        result.total_connections += connections.len();
-        result.productive_connections += productive;
-        result.wasted_connections += connections.len() - productive;
-        if let Some(history) = &mut result.rounds {
-            history.push(RoundStats {
-                round,
-                connections: connections.len(),
-                productive,
-                complete_nodes,
-                messages_held: states.iter().map(MessageSet::count).sum(),
-            });
-        }
-
-        if complete_nodes == n {
-            result.completed = true;
-            result.rounds_to_completion = Some(round);
-            break;
-        }
-    }
-
-    result.complete_nodes = complete_nodes;
-    result
-}
-
-/// Two distinct mutable references into `states`.
-fn ordered_pair(
-    states: &mut [MessageSet],
-    i: usize,
-    j: usize,
-) -> (&mut MessageSet, &mut MessageSet) {
-    assert_ne!(i, j, "a connection cannot join a node to itself");
-    if i < j {
-        let (lo, hi) = states.split_at_mut(j);
-        (&mut lo[i], &mut hi[0])
-    } else {
-        let (lo, hi) = states.split_at_mut(i);
-        (&mut hi[0], &mut lo[j])
-    }
+    SyncScheduler.run(topology, protocol, sources, seed, config)
 }
 
 #[cfg(test)]
@@ -237,5 +168,44 @@ mod tests {
         // coverage at most doubles per round, so 1 -> 16 takes >= 4 rounds.
         assert!(result.productive_connections >= 15);
         assert!(result.rounds_to_completion.unwrap() >= 4);
+    }
+
+    #[test]
+    fn history_is_preallocated_to_the_round_cap() {
+        let cfg = SimConfig {
+            max_rounds: 500,
+            record_rounds: true,
+        };
+        assert_eq!(cfg.history_vec().capacity(), 500);
+        // Pathological caps do not reserve absurd memory up front.
+        let cfg = SimConfig {
+            max_rounds: usize::MAX,
+            record_rounds: true,
+        };
+        assert_eq!(cfg.history_vec().capacity(), HISTORY_PREALLOC_CAP);
+    }
+
+    #[test]
+    fn sync_virtual_time_mirrors_rounds() {
+        use gossip_core::time::TICKS_PER_ROUND;
+        let topo = Topology::ring(16);
+        let result = run(
+            &topo,
+            &UniformGossip,
+            &[NodeId(0)],
+            9,
+            &SimConfig::default(),
+        );
+        assert_eq!(result.scheduler, "sync");
+        assert_eq!(
+            result.virtual_time,
+            result.rounds_executed as u64 * TICKS_PER_ROUND
+        );
+        assert_eq!(
+            result.virtual_time_to_completion,
+            result
+                .rounds_to_completion
+                .map(|r| r as u64 * TICKS_PER_ROUND)
+        );
     }
 }

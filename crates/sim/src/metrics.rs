@@ -22,6 +22,8 @@ pub struct SimResult {
     pub topology: String,
     /// Protocol name.
     pub protocol: String,
+    /// Name of the scheduler that produced the run ("sync" or "async").
+    pub scheduler: String,
     /// Number of nodes.
     pub nodes: usize,
     /// Size of the message universe (`k` of k-gossip).
@@ -32,8 +34,16 @@ pub struct SimResult {
     pub completed: bool,
     /// Round in which gossip completed, if it did.
     pub rounds_to_completion: Option<usize>,
-    /// Rounds actually executed (equals the cap when `!completed`).
+    /// Rounds actually executed (equals the cap when `!completed`). The
+    /// asynchronous scheduler reports round *equivalents*: virtual time
+    /// divided by [`gossip_core::time::TICKS_PER_ROUND`], rounded up.
     pub rounds_executed: usize,
+    /// Virtual time elapsed, in ticks
+    /// ([`gossip_core::time::TICKS_PER_ROUND`] per synchronous round), so
+    /// asynchronous completion times are comparable with round counts.
+    pub virtual_time: u64,
+    /// Virtual time at which gossip completed, if it did.
+    pub virtual_time_to_completion: Option<u64>,
     /// Total connections formed.
     pub total_connections: usize,
     /// Connections that transferred at least one new message.

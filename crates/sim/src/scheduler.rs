@@ -1,0 +1,200 @@
+//! The scheduler abstraction and the synchronous round-based scheduler.
+//!
+//! A [`Scheduler`] owns the *execution model*: how virtual time advances,
+//! when nodes advertise and scan, and when proposed connections resolve.
+//! Protocols are scheduler-agnostic — they only ever see a
+//! [`NodeCtx`] neighborhood snapshot — so the same protocol runs under
+//! every scheduler.
+//!
+//! [`SyncScheduler`] is the engine of the PODC 2017 paper: globally
+//! synchronized advertise → scan → connect → transfer rounds, with batch
+//! connection resolution. Its behavior is the original `run()` loop,
+//! bit-for-bit; existing round-count regression tests pin this down.
+
+use crate::metrics::RoundStats;
+use crate::{SimConfig, SimResult};
+
+use gossip_core::time::TICKS_PER_ROUND;
+use gossip_core::{resolve_connections, Advertisement, Intent, MessageSet, NodeId, Rng, Topology};
+use gossip_protocols::{GossipProtocol, NodeCtx};
+
+/// An execution model for gossip in the mobile telephone model: drives a
+/// protocol over a topology and reports [`SimResult`] metrics. Identical
+/// `(topology, protocol, sources, seed, config)` inputs must reproduce
+/// identical results.
+pub trait Scheduler {
+    /// Stable scheduler name, used in CLI selection and reporting.
+    fn name(&self) -> &'static str;
+
+    /// Run one simulation: message `m` starts at `sources[m]`, and the run
+    /// ends when every node holds every message or the `config` cap
+    /// (rounds, or the equivalent virtual time) is hit.
+    fn run(
+        &self,
+        topology: &Topology,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult;
+}
+
+/// Shared run setup: seed the per-node message sets from `sources` and
+/// build a result skeleton (handles the already-complete-at-time-zero
+/// case, e.g. a single-node topology).
+pub(crate) fn init_run(
+    topology: &Topology,
+    protocol: &dyn GossipProtocol,
+    scheduler: &str,
+    sources: &[NodeId],
+    seed: u64,
+    config: &SimConfig,
+) -> (Vec<MessageSet>, SimResult) {
+    let n = topology.num_nodes();
+    let k = sources.len();
+    assert!(n > 0, "cannot simulate an empty topology");
+    assert!(k > 0, "gossip needs at least one message");
+
+    let mut states: Vec<MessageSet> = (0..n).map(|_| MessageSet::new(k)).collect();
+    for (m, &node) in sources.iter().enumerate() {
+        states[node.index()].insert(m);
+    }
+
+    let complete_nodes = states.iter().filter(|s| s.is_full()).count();
+    let result = SimResult {
+        topology: topology.name().to_string(),
+        protocol: protocol.name().to_string(),
+        scheduler: scheduler.to_string(),
+        nodes: n,
+        messages: k,
+        seed,
+        completed: complete_nodes == n,
+        rounds_to_completion: if complete_nodes == n { Some(0) } else { None },
+        rounds_executed: 0,
+        virtual_time: 0,
+        virtual_time_to_completion: if complete_nodes == n { Some(0) } else { None },
+        total_connections: 0,
+        productive_connections: 0,
+        wasted_connections: 0,
+        complete_nodes,
+        rounds: config.record_rounds.then(|| config.history_vec()),
+    };
+    (states, result)
+}
+
+/// The synchronous round-based scheduler from the PODC 2017 paper: every
+/// round, all nodes advertise, scan, commit an intent, the batch matching
+/// resolver forms connections, and matched pairs transfer — all against a
+/// single global clock. Virtual time advances by
+/// [`TICKS_PER_ROUND`] per round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncScheduler;
+
+impl Scheduler for SyncScheduler {
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+
+    fn run(
+        &self,
+        topology: &Topology,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult {
+        let n = topology.num_nodes();
+        let mut rng = Rng::new(seed);
+        let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
+        if result.completed {
+            return result;
+        }
+        let mut complete_nodes = result.complete_nodes;
+
+        let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
+        let mut intents: Vec<Intent> = vec![Intent::Idle; n];
+        let mut ad_scratch: Vec<Advertisement> = Vec::new();
+
+        for round in 1..=config.max_rounds {
+            // Phase 1+2: advertise, then every node scans and commits an
+            // intent.
+            for (ad, state) in ads.iter_mut().zip(&states) {
+                *ad = protocol.advertise(state, round as u64);
+            }
+            for u in 0..n {
+                let id = NodeId(u as u32);
+                let neighbors = topology.neighbors(id);
+                ad_scratch.clear();
+                ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
+                let ctx = NodeCtx {
+                    id,
+                    salt: round as u64,
+                    messages: &states[u],
+                    neighbors,
+                    neighbor_ads: &ad_scratch,
+                };
+                intents[u] = protocol.decide(&ctx, &mut rng);
+            }
+
+            // Phase 3: connection resolution (the matching).
+            let connections = resolve_connections(topology, &intents, &mut rng);
+
+            // Phase 4: push-pull transfer over each connection.
+            let mut productive = 0;
+            for c in &connections {
+                let (a, b) = ordered_pair(&mut states, c.initiator.index(), c.acceptor.index());
+                let before_a = a.is_full();
+                let before_b = b.is_full();
+                let moved = a.union_with(b) + b.union_with(a);
+                if moved > 0 {
+                    productive += 1;
+                }
+                complete_nodes += (a.is_full() && !before_a) as usize;
+                complete_nodes += (b.is_full() && !before_b) as usize;
+            }
+
+            result.rounds_executed = round;
+            result.total_connections += connections.len();
+            result.productive_connections += productive;
+            result.wasted_connections += connections.len() - productive;
+            if let Some(history) = &mut result.rounds {
+                history.push(RoundStats {
+                    round,
+                    connections: connections.len(),
+                    productive,
+                    complete_nodes,
+                    messages_held: states.iter().map(MessageSet::count).sum(),
+                });
+            }
+
+            if complete_nodes == n {
+                result.completed = true;
+                result.rounds_to_completion = Some(round);
+                break;
+            }
+        }
+
+        result.complete_nodes = complete_nodes;
+        result.virtual_time = result.rounds_executed as u64 * TICKS_PER_ROUND;
+        result.virtual_time_to_completion = result
+            .rounds_to_completion
+            .map(|r| r as u64 * TICKS_PER_ROUND);
+        result
+    }
+}
+
+/// Two distinct mutable references into `states`.
+pub(crate) fn ordered_pair(
+    states: &mut [MessageSet],
+    i: usize,
+    j: usize,
+) -> (&mut MessageSet, &mut MessageSet) {
+    assert_ne!(i, j, "a connection cannot join a node to itself");
+    if i < j {
+        let (lo, hi) = states.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = states.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}

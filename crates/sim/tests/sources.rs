@@ -1,0 +1,82 @@
+//! Property tests for `random_sources`: distinctness when `k <= n`,
+//! deterministic wrap when `k > n`, and determinism across identical
+//! seeds.
+
+use std::collections::HashSet;
+
+use gossip_core::Rng;
+use gossip_sim::random_sources;
+
+#[test]
+fn sources_are_distinct_when_k_at_most_n() {
+    for seed in 0..50u64 {
+        let mut rng = Rng::new(seed);
+        let n = 1 + rng.gen_range(100);
+        let k = 1 + rng.gen_range(n);
+        let sources = random_sources(n, k, &mut rng);
+        assert_eq!(sources.len(), k);
+        let distinct: HashSet<_> = sources.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            k,
+            "seed {seed}: k={k} <= n={n} must place sources on distinct nodes"
+        );
+        assert!(
+            sources.iter().all(|s| s.index() < n),
+            "seed {seed}: source out of range"
+        );
+    }
+}
+
+#[test]
+fn sources_wrap_deterministically_when_k_exceeds_n() {
+    for seed in 0..50u64 {
+        let mut rng = Rng::new(seed);
+        let n = 1 + rng.gen_range(20);
+        let k = n + 1 + rng.gen_range(3 * n);
+        let sources = random_sources(n, k, &mut rng);
+        assert_eq!(sources.len(), k);
+        // The first n sources cover every node exactly once...
+        let first_cycle: HashSet<_> = sources[..n].iter().copied().collect();
+        assert_eq!(
+            first_cycle.len(),
+            n,
+            "seed {seed}: first wrap cycle must cover all {n} nodes"
+        );
+        // ...and beyond that the assignment wraps with period n.
+        for (m, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                s,
+                sources[m % n],
+                "seed {seed}: message {m} must wrap onto message {}'s node",
+                m % n
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_sources() {
+    for seed in 0..30u64 {
+        for &(n, k) in &[(1usize, 1usize), (10, 3), (10, 10), (7, 23), (64, 64)] {
+            let a = random_sources(n, k, &mut Rng::new(seed));
+            let b = random_sources(n, k, &mut Rng::new(seed));
+            assert_eq!(
+                a, b,
+                "seed {seed}, n={n}, k={k}: placement must be deterministic"
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_usually_differ() {
+    // Not a hard guarantee for any single pair, but across 20 seed pairs
+    // on 50 nodes at least one permutation must differ — otherwise the
+    // placement is ignoring its RNG.
+    let n = 50;
+    let k = 10;
+    let baseline = random_sources(n, k, &mut Rng::new(0));
+    let diverged = (1..=20u64).any(|s| random_sources(n, k, &mut Rng::new(s)) != baseline);
+    assert!(diverged, "source placement ignores the seed");
+}
