@@ -6,7 +6,11 @@
 //! design (simulation state is flat integers, so a JSON writer is ~40
 //! lines), which keeps builds hermetic.
 
-use gossip_core::{Rng, TimingConfig, Topology};
+use gossip_core::{RggGeometry, Rng, TimingConfig, Topology};
+use gossip_dynamics::{
+    Churn, CompositeDynamics, DynamicsModel, EdgeFading, RejoinPolicy, Waypoint,
+    DEFAULT_MEAN_DOWNTIME_ROUNDS, DEFAULT_SPEED_PER_ROUND,
+};
 use gossip_protocols::{by_name, PROTOCOL_NAMES};
 use gossip_sim::{random_sources, AsyncScheduler, Scheduler, SimConfig, SimResult, SyncScheduler};
 
@@ -23,6 +27,12 @@ pub const TOPOLOGY_NAMES: &[&str] = &[
 
 /// Accepted `--scheduler` values.
 pub const SCHEDULER_NAMES: &[&str] = &["sync", "async"];
+
+/// Accepted `--format` values.
+pub const FORMAT_NAMES: &[&str] = &["json", "csv"];
+
+/// Accepted `--rejoin` values.
+pub const REJOIN_NAMES: &[&str] = &["keep", "lose", "none"];
 
 pub const USAGE: &str = "gossip-sim: gossip experiments in the mobile telephone model
 
@@ -50,6 +60,21 @@ OPTIONS:
                                                ticks (1024 ticks = 1 round) [default: 32]
     --max-latency <T>                          async: max connect/transfer latency in
                                                ticks [default: 256]
+    --churn-rate <F>                           nodes churn: depart with per-round
+                                               probability F (geometric lifetimes),
+                                               0 < F < 1 [default: off]
+    --rejoin <keep|lose|none>                  what a churned node remembers when it
+                                               rejoins; 'none' means departed nodes
+                                               never return (requires --churn-rate)
+                                               [default: keep]
+    --fade-prob <F>                            edges flap: fade with per-round
+                                               probability F, 0 < F < 1 [default: off]
+    --mobility                                 random-waypoint mobility: nodes walk the
+                                               unit square and re-derive radius edges
+                                               (rgg topology only; incompatible
+                                               with --fade-prob)
+    --format <json|csv>                        output format; csv emits a header row
+                                               plus one row per seed [default: json]
     --history                                  include per-round stats in the JSON
     --help                                     print this help
 ";
@@ -72,6 +97,16 @@ pub struct ExperimentConfig {
     pub min_latency: u64,
     /// Max connection/transfer latency in ticks (async scheduler only).
     pub max_latency: u64,
+    /// Per-round node departure probability; `None` disables churn.
+    pub churn_rate: Option<f64>,
+    /// What a churned node remembers when it rejoins.
+    pub rejoin: RejoinPolicy,
+    /// Per-round edge fade probability; `None` disables fading.
+    pub fade_prob: Option<f64>,
+    /// Random-waypoint mobility over the RGG embedding.
+    pub mobility: bool,
+    /// Output format: "json" or "csv".
+    pub format: String,
     pub history: bool,
 }
 
@@ -90,6 +125,11 @@ impl Default for ExperimentConfig {
             drift: timing.drift,
             min_latency: timing.min_latency,
             max_latency: timing.max_latency,
+            churn_rate: None,
+            rejoin: RejoinPolicy::Keep,
+            fade_prob: None,
+            mobility: false,
+            format: "json".to_string(),
             history: false,
         }
     }
@@ -105,9 +145,34 @@ impl ExperimentConfig {
             ..TimingConfig::default()
         }
     }
+
+    /// The churn model implied by the CLI flags, if churn is enabled.
+    pub fn churn_model(&self) -> Option<Churn> {
+        self.churn_rate.map(|rate| Churn {
+            rate,
+            rejoin: self.rejoin,
+            mean_downtime: DEFAULT_MEAN_DOWNTIME_ROUNDS,
+        })
+    }
+
+    /// The fading model implied by the CLI flags, if fading is enabled.
+    pub fn fading_model(&self) -> Option<EdgeFading> {
+        self.fade_prob.map(|fade_prob| EdgeFading {
+            fade_prob,
+            mean_downtime: 1.0,
+        })
+    }
+
+    /// Does this experiment run over a mutating network?
+    pub fn is_dynamic(&self) -> bool {
+        self.churn_rate.is_some() || self.fade_prob.is_some() || self.mobility
+    }
 }
 
 /// Outcome of argument parsing: run an experiment, or print help.
+// One Command exists per process; boxing the config to shrink the enum
+// would be indirection for its own sake.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     Run(ExperimentConfig),
@@ -117,6 +182,7 @@ pub enum Command {
 /// Parse CLI arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut cfg = ExperimentConfig::default();
+    let mut rejoin_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -196,6 +262,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--max-latency" => {
                 cfg.max_latency = parse_num(&value("--max-latency")?, "--max-latency")? as u64;
             }
+            "--churn-rate" => {
+                let raw = value("--churn-rate")?;
+                cfg.churn_rate = Some(
+                    raw.parse::<f64>()
+                        .map_err(|_| format!("--churn-rate: '{raw}' is not a number"))?,
+                );
+            }
+            "--rejoin" => {
+                rejoin_given = true;
+                let raw = value("--rejoin")?;
+                cfg.rejoin = match raw.as_str() {
+                    "keep" => RejoinPolicy::Keep,
+                    "lose" => RejoinPolicy::Lose,
+                    "none" => RejoinPolicy::Never,
+                    _ => {
+                        return Err(format!(
+                            "unknown rejoin policy '{raw}' (expected one of {})",
+                            REJOIN_NAMES.join(", ")
+                        ))
+                    }
+                };
+            }
+            "--fade-prob" => {
+                let raw = value("--fade-prob")?;
+                cfg.fade_prob = Some(
+                    raw.parse::<f64>()
+                        .map_err(|_| format!("--fade-prob: '{raw}' is not a number"))?,
+                );
+            }
+            "--mobility" => cfg.mobility = true,
+            "--format" => {
+                cfg.format = value("--format")?;
+                if !FORMAT_NAMES.contains(&cfg.format.as_str()) {
+                    return Err(format!(
+                        "unknown format '{}' (expected one of {})",
+                        cfg.format,
+                        FORMAT_NAMES.join(", ")
+                    ));
+                }
+            }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
     }
@@ -204,6 +310,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     cfg.timing()
         .validate()
         .map_err(|e| format!("invalid --drift/--min-latency/--max-latency: {e}"))?;
+    // Likewise for dynamics: the models' own validators decide what a
+    // usable rate is, so the CLI cannot admit a config the engine panics
+    // on (an explicit zero rate is rejected here, not silently ignored).
+    if let Some(churn) = cfg.churn_model() {
+        churn
+            .validate()
+            .map_err(|e| format!("invalid --churn-rate: {e}"))?;
+    } else if rejoin_given {
+        return Err("--rejoin requires --churn-rate".to_string());
+    }
+    if let Some(fading) = cfg.fading_model() {
+        fading
+            .validate()
+            .map_err(|e| format!("invalid --fade-prob: {e}"))?;
+    }
+    if cfg.mobility {
+        if !matches!(cfg.topology.as_str(), "rgg" | "random_geometric") {
+            return Err(format!(
+                "--mobility moves nodes of a random geometric graph; \
+                 it requires --topology rgg, not '{}'",
+                cfg.topology
+            ));
+        }
+        if cfg.fade_prob.is_some() {
+            return Err("--mobility rewires the edges that --fade-prob would flap; \
+                 pick one link-instability model"
+                .to_string());
+        }
+    }
+    if cfg.format == "csv" && cfg.history {
+        return Err("--history emits nested per-round data, which is JSON-only".to_string());
+    }
     Ok(Command::Run(cfg))
 }
 
@@ -216,15 +354,56 @@ fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
 /// a stream forked off the experiment seed, so the whole experiment remains
 /// a pure function of the config.
 pub fn build_topology(cfg: &ExperimentConfig) -> Topology {
+    build_topology_with_geometry(cfg).0
+}
+
+/// [`build_topology`], also returning the RGG embedding for topologies
+/// that have one — the piece waypoint mobility needs. Same RNG
+/// consumption, same graph.
+pub fn build_topology_with_geometry(cfg: &ExperimentConfig) -> (Topology, Option<RggGeometry>) {
     match cfg.topology.as_str() {
-        "line" => Topology::line(cfg.nodes),
-        "ring" => Topology::ring(cfg.nodes),
-        "grid" => Topology::grid(cfg.nodes),
-        "complete" => Topology::complete(cfg.nodes),
+        "line" => (Topology::line(cfg.nodes), None),
+        "ring" => (Topology::ring(cfg.nodes), None),
+        "grid" => (Topology::grid(cfg.nodes), None),
+        "complete" => (Topology::complete(cfg.nodes), None),
         "rgg" | "random_geometric" => {
-            Topology::random_geometric(cfg.nodes, &mut Rng::new(cfg.seed ^ 0x7090))
+            let (topo, geometry) = Topology::random_geometric_with_geometry(
+                cfg.nodes,
+                &mut Rng::new(cfg.seed ^ 0x7090),
+            );
+            (topo, Some(geometry))
         }
         other => unreachable!("parse_args admitted unknown topology '{other}'"),
+    }
+}
+
+/// Build the dynamics model implied by the config: churn, fading, and
+/// mobility compose (any subset the validator admits), merged into one
+/// time-ordered mutation stream. `None` when the run is static.
+pub fn build_dynamics(
+    cfg: &ExperimentConfig,
+    geometry: Option<&RggGeometry>,
+) -> Option<Box<dyn DynamicsModel>> {
+    let mut parts: Vec<Box<dyn DynamicsModel>> = Vec::new();
+    if let Some(churn) = cfg.churn_model() {
+        parts.push(Box::new(churn));
+    }
+    if let Some(fading) = cfg.fading_model() {
+        parts.push(Box::new(fading));
+    }
+    if cfg.mobility {
+        let geometry = geometry
+            .expect("parse_args only admits --mobility with an RGG topology")
+            .clone();
+        parts.push(Box::new(Waypoint {
+            geometry,
+            speed: DEFAULT_SPEED_PER_ROUND,
+        }));
+    }
+    match parts.len() {
+        0 => None,
+        1 => parts.pop(),
+        _ => Some(Box::new(CompositeDynamics { parts })),
     }
 }
 
@@ -240,9 +419,11 @@ pub fn build_scheduler(cfg: &ExperimentConfig) -> Box<dyn Scheduler> {
 }
 
 /// Run the configured experiment end to end (ignoring the sweep width;
-/// see [`run_sweep`] for multi-seed runs).
+/// see [`run_sweep`] for multi-seed runs). Static configs take the
+/// dynamics-free fast path, whose output is bit-for-bit that of
+/// pre-dynamics builds.
 pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult {
-    let topology = build_topology(cfg);
+    let (topology, geometry) = build_topology_with_geometry(cfg);
     let protocol = by_name(&cfg.protocol).expect("parse_args validated the protocol name");
     let scheduler = build_scheduler(cfg);
     let sources = random_sources(
@@ -254,7 +435,17 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult {
         max_rounds: cfg.max_rounds.unwrap_or(100 + 60 * cfg.nodes),
         record_rounds: cfg.history,
     };
-    scheduler.run(&topology, protocol.as_ref(), &sources, cfg.seed, &sim_cfg)
+    match build_dynamics(cfg, geometry.as_ref()) {
+        None => scheduler.run(&topology, protocol.as_ref(), &sources, cfg.seed, &sim_cfg),
+        Some(dynamics) => scheduler.run_dynamic(
+            &topology,
+            dynamics.as_ref(),
+            protocol.as_ref(),
+            &sources,
+            cfg.seed,
+            &sim_cfg,
+        ),
+    }
 }
 
 /// Run the configured sweep lazily: `cfg.seeds` consecutive seeds
@@ -326,6 +517,46 @@ pub fn to_json(result: &SimResult) -> String {
     );
     out.push(',');
     json_num(&mut out, "complete_nodes", result.complete_nodes as u64);
+    if let Some(d) = &result.dynamics {
+        out.push_str(",\"dynamics\":{");
+        json_str(&mut out, "model", &d.model);
+        out.push(',');
+        json_num(&mut out, "departures", d.departures as u64);
+        out.push(',');
+        json_num(&mut out, "rejoins", d.rejoins as u64);
+        out.push(',');
+        json_num(&mut out, "edge_downs", d.edge_downs as u64);
+        out.push(',');
+        json_num(&mut out, "edge_ups", d.edge_ups as u64);
+        out.push(',');
+        json_num(&mut out, "rewires", d.rewires as u64);
+        out.push(',');
+        json_num(
+            &mut out,
+            "severed_connections",
+            d.severed_connections as u64,
+        );
+        out.push(',');
+        json_num(&mut out, "peak_alive", d.peak_alive as u64);
+        out.push(',');
+        json_num(&mut out, "min_alive", d.min_alive as u64);
+        out.push(',');
+        json_num(&mut out, "final_alive", d.final_alive as u64);
+        out.push_str(",\"coverage_timeline\":[");
+        for (i, p) in d.coverage_timeline.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_num(&mut out, "time", p.time);
+            out.push(',');
+            json_num(&mut out, "alive", p.alive as u64);
+            out.push(',');
+            json_num(&mut out, "informed_alive", p.informed_alive as u64);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
     if let Some(rounds) = &result.rounds {
         out.push_str(",\"rounds\":[");
         for (i, r) in rounds.iter().enumerate() {
@@ -348,6 +579,61 @@ pub fn to_json(result: &SimResult) -> String {
     }
     out.push('}');
     out
+}
+
+/// The header row for `--format csv`. The column set is fixed — dynamics
+/// columns are simply empty on static runs — so sweep outputs from
+/// different configs concatenate and load uniformly in plotting tools.
+pub fn csv_header() -> &'static str {
+    "topology,protocol,scheduler,nodes,messages,seed,completed,\
+     rounds_to_completion,rounds_executed,virtual_time,\
+     virtual_time_to_completion,total_connections,productive_connections,\
+     wasted_connections,complete_nodes,dynamics_model,departures,rejoins,\
+     edge_downs,edge_ups,rewires,severed_connections,peak_alive,min_alive,\
+     final_alive"
+}
+
+/// Serialize one result as a CSV row matching [`csv_header`]. Absent
+/// values (an uncompleted run's completion columns, dynamics columns of a
+/// static run) serialize as empty cells. Names are ASCII identifiers, so
+/// no quoting is needed.
+pub fn to_csv_row(result: &SimResult) -> String {
+    fn opt(v: Option<u64>) -> String {
+        v.map(|v| v.to_string()).unwrap_or_default()
+    }
+    let d = result.dynamics.as_ref();
+    let mut fields: Vec<String> = vec![
+        result.topology.clone(),
+        result.protocol.clone(),
+        result.scheduler.clone(),
+        result.nodes.to_string(),
+        result.messages.to_string(),
+        result.seed.to_string(),
+        result.completed.to_string(),
+        opt(result.rounds_to_completion.map(|r| r as u64)),
+        result.rounds_executed.to_string(),
+        result.virtual_time.to_string(),
+        opt(result.virtual_time_to_completion),
+        result.total_connections.to_string(),
+        result.productive_connections.to_string(),
+        result.wasted_connections.to_string(),
+        result.complete_nodes.to_string(),
+    ];
+    fields.push(d.map(|d| d.model.clone()).unwrap_or_default());
+    for value in [
+        d.map(|d| d.departures),
+        d.map(|d| d.rejoins),
+        d.map(|d| d.edge_downs),
+        d.map(|d| d.edge_ups),
+        d.map(|d| d.rewires),
+        d.map(|d| d.severed_connections),
+        d.map(|d| d.peak_alive),
+        d.map(|d| d.min_alive),
+        d.map(|d| d.final_alive),
+    ] {
+        fields.push(opt(value.map(|v| v as u64)));
+    }
+    fields.join(",")
 }
 
 fn json_str(out: &mut String, key: &str, value: &str) {
@@ -433,6 +719,86 @@ mod tests {
         assert!(parse(&["--drift", "-0.5"]).is_err());
         assert!(parse(&["--drift", "slow"]).is_err());
         assert!(parse(&["--min-latency", "300", "--max-latency", "200"]).is_err());
+    }
+
+    #[test]
+    fn dynamics_flags_parse() {
+        let cmd = parse(&[
+            "--churn-rate",
+            "0.2",
+            "--rejoin",
+            "lose",
+            "--fade-prob",
+            "0.05",
+        ])
+        .unwrap();
+        let Command::Run(cfg) = cmd else {
+            panic!("expected Run");
+        };
+        assert_eq!(cfg.churn_rate, Some(0.2));
+        assert_eq!(cfg.rejoin, RejoinPolicy::Lose);
+        assert_eq!(cfg.fade_prob, Some(0.05));
+        assert!(cfg.is_dynamic());
+        assert!(!ExperimentConfig::default().is_dynamic());
+
+        let Command::Run(cfg) = parse(&["--topology", "rgg", "--mobility"]).unwrap() else {
+            panic!("expected Run");
+        };
+        assert!(cfg.mobility && cfg.is_dynamic());
+
+        let Command::Run(cfg) = parse(&["--format", "csv"]).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(cfg.format, "csv");
+    }
+
+    #[test]
+    fn rejects_degenerate_dynamics_configs() {
+        // Explicit zero-rate dynamics is a config bug, not a static run.
+        assert!(parse(&["--churn-rate", "0"]).is_err());
+        assert!(parse(&["--churn-rate", "0.0"]).is_err());
+        assert!(parse(&["--fade-prob", "0"]).is_err());
+        // Out-of-range and non-numeric rates.
+        assert!(parse(&["--churn-rate", "1.0"]).is_err());
+        assert!(parse(&["--churn-rate", "-0.1"]).is_err());
+        assert!(parse(&["--churn-rate", "often"]).is_err());
+        assert!(parse(&["--churn-rate", "NaN"]).is_err());
+        assert!(parse(&["--fade-prob", "1.5"]).is_err());
+        // Policy without churn, unknown policy, and model conflicts.
+        assert!(parse(&["--rejoin", "keep"]).is_err());
+        assert!(parse(&["--rejoin", "banana", "--churn-rate", "0.1"]).is_err());
+        assert!(parse(&["--mobility"]).is_err(), "mobility needs rgg");
+        assert!(parse(&["--mobility", "--topology", "grid"]).is_err());
+        assert!(parse(&["--mobility", "--topology", "rgg", "--fade-prob", "0.1"]).is_err());
+        // Output-format conflicts.
+        assert!(parse(&["--format", "xml"]).is_err());
+        assert!(parse(&["--format", "csv", "--history"]).is_err());
+        // Degenerate node counts stay rejected alongside the new flags.
+        assert!(parse(&["--nodes", "0", "--churn-rate", "0.1"]).is_err());
+    }
+
+    #[test]
+    fn csv_rows_match_the_header_shape() {
+        let cfg = parse_run_cfg(&["--nodes", "24", "--seeds", "1"]);
+        let result = run_experiment(&cfg);
+        let columns = csv_header().split(',').count();
+        let row = to_csv_row(&result);
+        assert_eq!(row.split(',').count(), columns);
+        assert!(!row.contains('\n'));
+        // Static runs leave every dynamics cell empty.
+        assert!(row.ends_with(",,,,,,,,,"), "static dynamics cells: {row}");
+
+        let cfg = parse_run_cfg(&["--nodes", "24", "--churn-rate", "0.1"]);
+        let row = to_csv_row(&run_experiment(&cfg));
+        assert_eq!(row.split(',').count(), columns);
+        assert!(row.contains(",churn,"), "model cell populated: {row}");
+    }
+
+    fn parse_run_cfg(args: &[&str]) -> ExperimentConfig {
+        match parse(args) {
+            Ok(Command::Run(cfg)) => cfg,
+            other => panic!("expected Run, got {other:?}"),
+        }
     }
 
     #[test]

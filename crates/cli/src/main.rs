@@ -1,4 +1,4 @@
-use gossip_cli::{parse_args, run_sweep_iter, to_json, Command, USAGE};
+use gossip_cli::{csv_header, parse_args, run_sweep_iter, to_csv_row, to_json, Command, USAGE};
 use std::io::Write;
 
 fn main() {
@@ -8,12 +8,21 @@ fn main() {
             let _ = std::io::stdout().write_all(USAGE.as_bytes());
         }
         Ok(Command::Run(cfg)) => {
-            // One JSON line per swept seed (one line total by default),
-            // streamed as each run finishes.
-            for result in run_sweep_iter(&cfg) {
+            // One line per swept seed (one line total by default),
+            // streamed as each run finishes; CSV leads with its header.
+            let csv = cfg.format == "csv";
+            if csv {
                 // Ignore write errors: a closed pipe (`gossip-sim | head`)
-                // is a normal way for a consumer to stop reading JSON.
-                let _ = writeln!(std::io::stdout(), "{}", to_json(&result));
+                // is a normal way for a consumer to stop reading output.
+                let _ = writeln!(std::io::stdout(), "{}", csv_header());
+            }
+            for result in run_sweep_iter(&cfg) {
+                let line = if csv {
+                    to_csv_row(&result)
+                } else {
+                    to_json(&result)
+                };
+                let _ = writeln!(std::io::stdout(), "{line}");
                 if !result.completed {
                     eprintln!(
                         "warning: seed {}: gossip did not complete within {} rounds",

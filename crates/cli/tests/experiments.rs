@@ -1,7 +1,10 @@
 //! End-to-end tests over the exact code path the `gossip-sim` binary runs:
 //! parse args, execute the experiment, serialize JSON.
 
-use gossip_cli::{parse_args, run_experiment, run_sweep, to_json, Command, ExperimentConfig};
+use gossip_cli::{
+    csv_header, parse_args, run_experiment, run_sweep, to_csv_row, to_json, Command,
+    ExperimentConfig,
+};
 
 fn parse_run(args: &[&str]) -> ExperimentConfig {
     match parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()) {
@@ -230,4 +233,178 @@ fn default_sweep_width_is_a_single_seed() {
     let cfg = parse_run(&["--nodes", "30"]);
     assert_eq!(cfg.seeds, 1);
     assert_eq!(run_sweep(&cfg).len(), 1);
+}
+
+/// The dynamics-disabled fast path must stay bit-for-bit what the engine
+/// produced before the dynamics subsystem existed. These literals were
+/// captured from the pre-dynamics build; any drift in RNG consumption,
+/// round accounting, or serialization shows up here as a diff.
+#[test]
+fn static_acceptance_output_is_pinned_byte_for_byte() {
+    let sync = run_experiment(&parse_run(&[
+        "--topology",
+        "ring",
+        "--nodes",
+        "1000",
+        "--protocol",
+        "advert",
+        "--seed",
+        "42",
+        "--scheduler",
+        "sync",
+    ]));
+    assert_eq!(
+        to_json(&sync),
+        "{\"topology\":\"ring\",\"protocol\":\"advert\",\"scheduler\":\"sync\",\
+         \"nodes\":1000,\"messages\":1,\"seed\":42,\"completed\":true,\
+         \"rounds_to_completion\":500,\"rounds_executed\":500,\
+         \"virtual_time\":512000,\"virtual_time_to_completion\":512000,\
+         \"total_connections\":999,\"productive_connections\":999,\
+         \"wasted_connections\":0,\"complete_nodes\":1000}"
+    );
+    let async_ = run_experiment(&parse_run(&[
+        "--topology",
+        "ring",
+        "--nodes",
+        "1000",
+        "--protocol",
+        "advert",
+        "--seed",
+        "42",
+        "--scheduler",
+        "async",
+    ]));
+    assert_eq!(
+        to_json(&async_),
+        "{\"topology\":\"ring\",\"protocol\":\"advert\",\"scheduler\":\"async\",\
+         \"nodes\":1000,\"messages\":1,\"seed\":42,\"completed\":true,\
+         \"rounds_to_completion\":890,\"rounds_executed\":890,\
+         \"virtual_time\":911045,\"virtual_time_to_completion\":911045,\
+         \"total_connections\":999,\"productive_connections\":999,\
+         \"wasted_connections\":0,\"complete_nodes\":1000}"
+    );
+}
+
+#[test]
+fn churn_experiments_reproduce_and_report_dynamics() {
+    for scheduler in ["sync", "async"] {
+        let cfg = parse_run(&[
+            "--topology",
+            "ring",
+            "--nodes",
+            "200",
+            "--protocol",
+            "advert",
+            "--scheduler",
+            scheduler,
+            "--churn-rate",
+            "0.1",
+            "--rejoin",
+            "keep",
+            "--seed",
+            "42",
+        ]);
+        let result = run_experiment(&cfg);
+        assert!(
+            result.completed,
+            "{scheduler}: churned ring should complete"
+        );
+        let json = to_json(&result);
+        for key in [
+            "\"dynamics\":{\"model\":\"churn\"",
+            "\"departures\":",
+            "\"rejoins\":",
+            "\"severed_connections\":",
+            "\"peak_alive\":",
+            "\"min_alive\":",
+            "\"final_alive\":",
+            "\"coverage_timeline\":[{\"time\":0,\"alive\":200,",
+        ] {
+            assert!(json.contains(key), "{scheduler}: JSON missing {key}");
+        }
+        // Same seed + config reproduces the whole result, timeline and all.
+        assert_eq!(to_json(&run_experiment(&cfg)), json, "{scheduler}");
+    }
+}
+
+#[test]
+fn static_json_carries_no_dynamics_key() {
+    let result = run_experiment(&parse_run(&["--nodes", "40"]));
+    assert!(result.dynamics.is_none());
+    assert!(!to_json(&result).contains("\"dynamics\""));
+}
+
+#[test]
+fn fading_and_mobility_run_end_to_end() {
+    let fading = run_experiment(&parse_run(&[
+        "--topology",
+        "complete",
+        "--nodes",
+        "40",
+        "--fade-prob",
+        "0.2",
+        "--seed",
+        "5",
+    ]));
+    assert!(fading.completed);
+    let stats = fading.dynamics.as_ref().expect("fading stats");
+    assert_eq!(stats.model, "fading");
+    assert!(stats.edge_downs > 0);
+
+    let mobile = run_experiment(&parse_run(&[
+        "--topology",
+        "rgg",
+        "--nodes",
+        "50",
+        "--mobility",
+        "--protocol",
+        "advert",
+        "--seed",
+        "5",
+    ]));
+    assert!(mobile.completed);
+    let stats = mobile.dynamics.as_ref().expect("mobility stats");
+    assert_eq!(stats.model, "waypoint");
+
+    let combined = run_experiment(&parse_run(&[
+        "--topology",
+        "ring",
+        "--nodes",
+        "40",
+        "--churn-rate",
+        "0.05",
+        "--fade-prob",
+        "0.05",
+        "--seed",
+        "5",
+    ]));
+    let stats = combined.dynamics.as_ref().expect("composite stats");
+    assert_eq!(stats.model, "churn+fading");
+    assert!(stats.departures > 0 && stats.edge_downs > 0);
+}
+
+#[test]
+fn csv_sweeps_emit_one_well_formed_row_per_seed() {
+    let cfg = parse_run(&[
+        "--nodes",
+        "30",
+        "--seeds",
+        "4",
+        "--format",
+        "csv",
+        "--churn-rate",
+        "0.1",
+        "--seed",
+        "9",
+    ]);
+    let results = run_sweep(&cfg);
+    assert_eq!(results.len(), 4);
+    let columns = csv_header().split(',').count();
+    for (i, result) in results.iter().enumerate() {
+        let row = to_csv_row(result);
+        assert_eq!(row.split(',').count(), columns, "row {i}: {row}");
+        assert!(row.starts_with("ring,uniform,sync,30,1,"));
+        assert!(row.contains(&format!(",{},", 9 + i as u64)), "seed echoed");
+        assert!(row.contains(",churn,"), "dynamics columns filled");
+    }
 }

@@ -1,0 +1,343 @@
+//! A mutable topology for networks that change under the protocol's feet.
+//!
+//! Smartphone peer-to-peer networks are unstable: devices power off and
+//! return (churn), links flap with interference (fading), and devices move,
+//! re-deriving which peers are in radio range (mobility). [`DynamicTopology`]
+//! wraps a static [`Topology`] with the mutation operations those processes
+//! need, while keeping the read path as cheap as the static graph:
+//!
+//! - an **alive mask** with `O(1)` [`is_alive`](DynamicTopology::is_alive)
+//!   checks and a maintained alive count,
+//! - a **faded-edge overlay** so interference can hide a base edge without
+//!   forgetting it,
+//! - a mutable **base adjacency** so mobility can rewire a node wholesale,
+//! - and, the key piece, an **incrementally maintained active adjacency**:
+//!   per node, the sorted list of neighbors that are alive and reachable
+//!   over a non-faded edge. Reads ([`GraphView`]) are exactly as fast as on
+//!   a static [`Topology`]; every mutation pays the incremental cost of
+//!   updating the affected lists instead.
+//!
+//! Dead nodes read as isolated: their active neighbor list is empty and
+//! they appear in no other node's list, so protocols — which only ever see
+//! neighbor snapshots — naturally ignore them without any scheduler-side
+//! special casing.
+
+use crate::topology::GraphView;
+use crate::{NodeId, Topology};
+
+use std::collections::HashSet;
+
+/// A [`Topology`] plus an alive-node set, a faded-edge overlay, and
+/// incrementally maintained active-neighbor views. See the module docs.
+#[derive(Clone, Debug)]
+pub struct DynamicTopology {
+    name: String,
+    /// The full adjacency, including edges of dead nodes and faded edges.
+    /// Mobility rewires mutate this; churn and fading do not.
+    base: Vec<Vec<NodeId>>,
+    /// The adjacency actually visible to protocols: both endpoints alive
+    /// and the edge not faded. Sorted, maintained incrementally.
+    active: Vec<Vec<NodeId>>,
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Currently faded base edges, normalized to `(min, max)`. Never
+    /// iterated (ordering would be nondeterministic) — membership only.
+    faded: HashSet<(u32, u32)>,
+}
+
+fn norm(u: NodeId, v: NodeId) -> (u32, u32) {
+    if u.0 <= v.0 {
+        (u.0, v.0)
+    } else {
+        (v.0, u.0)
+    }
+}
+
+fn insert_sorted(list: &mut Vec<NodeId>, v: NodeId) {
+    if let Err(i) = list.binary_search(&v) {
+        list.insert(i, v);
+    }
+}
+
+fn remove_sorted(list: &mut Vec<NodeId>, v: NodeId) {
+    if let Ok(i) = list.binary_search(&v) {
+        list.remove(i);
+    }
+}
+
+impl DynamicTopology {
+    /// Start from a static topology: everyone alive, every edge active.
+    pub fn new(topology: &Topology) -> Self {
+        let n = topology.num_nodes();
+        let base: Vec<Vec<NodeId>> = (0..n)
+            .map(|u| topology.neighbors(NodeId(u as u32)).to_vec())
+            .collect();
+        DynamicTopology {
+            name: topology.name().to_string(),
+            active: base.clone(),
+            base,
+            alive: vec![true; n],
+            alive_count: n,
+            faded: HashSet::new(),
+        }
+    }
+
+    /// Name of the underlying topology builder.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes, alive or not.
+    pub fn num_nodes(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Is `node` currently alive? `O(1)`.
+    #[inline]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// How many nodes are currently alive.
+    #[inline]
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// Sorted neighbors of `node` that are alive and reachable over a
+    /// non-faded edge. Empty for a dead node.
+    pub fn active_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.active[node.index()]
+    }
+
+    /// Number of currently active undirected edges.
+    pub fn active_edge_count(&self) -> usize {
+        self.active.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Take `node` down. Its active neighbor list empties and it vanishes
+    /// from every neighbor's list. Returns false if it was already dead.
+    pub fn kill(&mut self, node: NodeId) -> bool {
+        let ui = node.index();
+        if !self.alive[ui] {
+            return false;
+        }
+        self.alive[ui] = false;
+        self.alive_count -= 1;
+        let mine = std::mem::take(&mut self.active[ui]);
+        for v in &mine {
+            remove_sorted(&mut self.active[v.index()], node);
+        }
+        true
+    }
+
+    /// Bring `node` back up. Its active edges are rebuilt from the base
+    /// adjacency, filtered by the alive mask and the faded-edge overlay.
+    /// Returns false if it was already alive.
+    pub fn revive(&mut self, node: NodeId) -> bool {
+        let ui = node.index();
+        if self.alive[ui] {
+            return false;
+        }
+        self.alive[ui] = true;
+        self.alive_count += 1;
+        let mut mine = Vec::with_capacity(self.base[ui].len());
+        for i in 0..self.base[ui].len() {
+            let v = self.base[ui][i];
+            if self.alive[v.index()] && !self.faded.contains(&norm(node, v)) {
+                mine.push(v);
+                insert_sorted(&mut self.active[v.index()], node);
+            }
+        }
+        self.active[ui] = mine; // base is sorted, so the filtered list is too
+        true
+    }
+
+    /// Fade the base edge `u — v` out (interference). Returns false if the
+    /// edge does not exist in the base graph or is already faded.
+    pub fn fade_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if self.base[u.index()].binary_search(&v).is_err() || !self.faded.insert(norm(u, v)) {
+            return false;
+        }
+        if self.alive[u.index()] && self.alive[v.index()] {
+            remove_sorted(&mut self.active[u.index()], v);
+            remove_sorted(&mut self.active[v.index()], u);
+        }
+        true
+    }
+
+    /// Restore a previously faded edge. Returns false if it was not faded.
+    pub fn restore_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.faded.remove(&norm(u, v)) {
+            return false;
+        }
+        if self.alive[u.index()] && self.alive[v.index()] {
+            insert_sorted(&mut self.active[u.index()], v);
+            insert_sorted(&mut self.active[v.index()], u);
+        }
+        true
+    }
+
+    /// Replace `node`'s base adjacency wholesale (mobility: the node moved
+    /// and its radio range now covers a different peer set). Self-loops,
+    /// duplicates, and out-of-range ids in `new_neighbors` are dropped.
+    /// Fade state of the node's former edges is discarded. Works on dead
+    /// nodes too — the new edges activate when the node revives.
+    pub fn rewire(&mut self, node: NodeId, new_neighbors: &[NodeId]) {
+        let ui = node.index();
+        let old = std::mem::take(&mut self.base[ui]);
+        for &v in &old {
+            remove_sorted(&mut self.base[v.index()], node);
+            remove_sorted(&mut self.active[v.index()], node);
+            self.faded.remove(&norm(node, v));
+        }
+        self.active[ui].clear();
+
+        let mut fresh: Vec<NodeId> = new_neighbors
+            .iter()
+            .copied()
+            .filter(|&v| v != node && v.index() < self.alive.len())
+            .collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        for &v in &fresh {
+            insert_sorted(&mut self.base[v.index()], node);
+            if self.alive[ui] && self.alive[v.index()] {
+                insert_sorted(&mut self.active[v.index()], node);
+                self.active[ui].push(v); // fresh is sorted: push keeps order
+            }
+        }
+        self.base[ui] = fresh;
+    }
+}
+
+impl GraphView for DynamicTopology {
+    fn num_nodes(&self) -> usize {
+        DynamicTopology::num_nodes(self)
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        self.active_neighbors(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<NodeId> {
+        raw.iter().map(|&v| NodeId(v)).collect()
+    }
+
+    #[test]
+    fn starts_identical_to_the_static_graph() {
+        let topo = Topology::ring(6);
+        let dt = DynamicTopology::new(&topo);
+        assert_eq!(dt.alive_count(), 6);
+        assert_eq!(dt.active_edge_count(), topo.num_edges());
+        for u in 0..6u32 {
+            assert_eq!(dt.active_neighbors(NodeId(u)), topo.neighbors(NodeId(u)));
+        }
+    }
+
+    #[test]
+    fn kill_isolates_and_revive_restores() {
+        let topo = Topology::ring(5);
+        let mut dt = DynamicTopology::new(&topo);
+        assert!(dt.kill(NodeId(1)));
+        assert!(!dt.kill(NodeId(1)), "double kill is a no-op");
+        assert!(!dt.is_alive(NodeId(1)));
+        assert_eq!(dt.alive_count(), 4);
+        assert!(dt.active_neighbors(NodeId(1)).is_empty());
+        assert_eq!(dt.active_neighbors(NodeId(0)), ids(&[4]));
+        assert_eq!(dt.active_neighbors(NodeId(2)), ids(&[3]));
+        assert!(!dt.are_neighbors(NodeId(0), NodeId(1)));
+
+        assert!(dt.revive(NodeId(1)));
+        assert!(!dt.revive(NodeId(1)), "double revive is a no-op");
+        assert_eq!(dt.alive_count(), 5);
+        assert_eq!(dt.active_neighbors(NodeId(1)), ids(&[0, 2]));
+        assert_eq!(dt.active_neighbors(NodeId(0)), ids(&[1, 4]));
+    }
+
+    #[test]
+    fn revive_respects_other_dead_nodes_and_fades() {
+        let topo = Topology::complete(4);
+        let mut dt = DynamicTopology::new(&topo);
+        dt.kill(NodeId(2));
+        dt.fade_edge(NodeId(0), NodeId(3));
+        dt.kill(NodeId(0));
+        dt.revive(NodeId(0));
+        // 2 is still dead; 0—3 is still faded.
+        assert_eq!(dt.active_neighbors(NodeId(0)), ids(&[1]));
+        assert_eq!(dt.active_neighbors(NodeId(3)), ids(&[1]));
+    }
+
+    #[test]
+    fn fade_hides_and_restore_reveals() {
+        let topo = Topology::ring(4);
+        let mut dt = DynamicTopology::new(&topo);
+        assert!(dt.fade_edge(NodeId(0), NodeId(1)));
+        assert!(!dt.fade_edge(NodeId(1), NodeId(0)), "already faded");
+        assert!(!dt.fade_edge(NodeId(0), NodeId(2)), "not a base edge");
+        assert!(!dt.are_neighbors(NodeId(0), NodeId(1)));
+        assert_eq!(dt.active_edge_count(), 3);
+
+        assert!(dt.restore_edge(NodeId(1), NodeId(0)));
+        assert!(!dt.restore_edge(NodeId(1), NodeId(0)), "not faded now");
+        assert!(dt.are_neighbors(NodeId(0), NodeId(1)));
+        assert_eq!(dt.active_edge_count(), 4);
+    }
+
+    #[test]
+    fn faded_edge_stays_hidden_across_churn() {
+        let topo = Topology::ring(4);
+        let mut dt = DynamicTopology::new(&topo);
+        dt.fade_edge(NodeId(0), NodeId(1));
+        dt.kill(NodeId(0));
+        dt.revive(NodeId(0));
+        assert!(
+            !dt.are_neighbors(NodeId(0), NodeId(1)),
+            "fade survives churn"
+        );
+        assert_eq!(dt.active_neighbors(NodeId(0)), ids(&[3]));
+    }
+
+    #[test]
+    fn rewire_replaces_edges_symmetrically() {
+        let topo = Topology::line(5); // 0-1-2-3-4
+        let mut dt = DynamicTopology::new(&topo);
+        // Node 0 "moves" next to 3 and 4.
+        dt.rewire(NodeId(0), &ids(&[3, 4, 4, 0])); // dup + self-loop dropped
+        assert_eq!(dt.active_neighbors(NodeId(0)), ids(&[3, 4]));
+        assert_eq!(dt.active_neighbors(NodeId(1)), ids(&[2]), "old edge gone");
+        assert_eq!(dt.active_neighbors(NodeId(3)), ids(&[0, 2, 4]));
+        assert_eq!(dt.active_neighbors(NodeId(4)), ids(&[0, 3]));
+    }
+
+    #[test]
+    fn rewire_of_dead_node_activates_on_revive() {
+        let topo = Topology::line(4);
+        let mut dt = DynamicTopology::new(&topo);
+        dt.kill(NodeId(0));
+        dt.rewire(NodeId(0), &ids(&[2, 3]));
+        assert!(dt
+            .active_neighbors(NodeId(2))
+            .binary_search(&NodeId(0))
+            .is_err());
+        dt.revive(NodeId(0));
+        assert_eq!(dt.active_neighbors(NodeId(0)), ids(&[2, 3]));
+        assert_eq!(dt.active_neighbors(NodeId(2)), ids(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn rewire_discards_stale_fade_state() {
+        let topo = Topology::line(3);
+        let mut dt = DynamicTopology::new(&topo);
+        dt.fade_edge(NodeId(0), NodeId(1));
+        // 0 moves away and back: the 0—1 edge returns un-faded.
+        dt.rewire(NodeId(0), &[]);
+        dt.rewire(NodeId(0), &ids(&[1]));
+        assert!(dt.are_neighbors(NodeId(0), NodeId(1)));
+    }
+}

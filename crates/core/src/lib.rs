@@ -18,7 +18,11 @@
 //!
 //! - [`NodeId`]: dense node identifiers,
 //! - [`Topology`]: static undirected communication graphs plus standard
-//!   builders (line, ring, grid, complete, random geometric),
+//!   builders (line, ring, grid, complete, random geometric), behind the
+//!   [`GraphView`] read trait,
+//! - [`DynamicTopology`]: the mutable wrapper for changing networks —
+//!   alive-node set, faded-edge overlay, wholesale rewiring, and
+//!   incrementally maintained active-neighbor views,
 //! - [`Advertisement`]: the per-round tag a node broadcasts,
 //! - [`MessageSet`]: the gossip state (which rumors a node holds),
 //! - [`Intent`] / [`resolve_connections`]: connection proposals and the
@@ -29,17 +33,19 @@
 //!   distributions of the asynchronous mobile telephone model,
 //! - [`Rng`]: a small deterministic PRNG so whole simulations are seedable.
 
+pub mod dynamic;
 pub mod matching;
 pub mod message;
 pub mod rng;
 pub mod time;
 pub mod topology;
 
+pub use dynamic::DynamicTopology;
 pub use matching::{resolve_connections, Connection, IncrementalMatcher, Intent, PeerState};
 pub use message::MessageSet;
 pub use rng::Rng;
 pub use time::{SimTime, TimingConfig, TICKS_PER_ROUND};
-pub use topology::Topology;
+pub use topology::{GraphView, RggGeometry, Topology};
 
 /// Identifier of a node in a topology. Node ids are dense: a topology over
 /// `n` nodes uses ids `0..n`.

@@ -26,7 +26,8 @@
 //! is the stateful counterpart that enforces the same
 //! one-connection-per-node invariant across those individual events.
 
-use crate::{NodeId, Rng, Topology};
+use crate::topology::GraphView;
+use crate::{NodeId, Rng};
 
 /// A node's committed action for the connection phase of a round.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -49,12 +50,15 @@ pub struct Connection {
 
 /// Resolve one round of intents into connections.
 ///
-/// `intents[i]` is node `i`'s intent. Panics in debug builds if a proposal
-/// targets a non-neighbor (a protocol bug); in release such proposals are
-/// dropped. The returned connections form a matching: no node appears in
-/// more than one, and no free proposer remains adjacent to a free listener.
-pub fn resolve_connections(
-    topology: &Topology,
+/// `intents[i]` is node `i`'s intent; `topology` is any [`GraphView`] —
+/// static, or the active view of a dynamic graph. Panics in debug builds
+/// if a proposal targets a non-neighbor (a protocol bug: within a
+/// synchronous round the graph cannot change between scan and resolution);
+/// in release such proposals are dropped. The returned connections form a
+/// matching: no node appears in more than one, and no free proposer
+/// remains adjacent to a free listener.
+pub fn resolve_connections<G: GraphView + ?Sized>(
+    topology: &G,
     intents: &[Intent],
     rng: &mut Rng,
 ) -> Vec<Connection> {
@@ -200,22 +204,19 @@ impl IncrementalMatcher {
     ///
     /// Succeeds — moving both endpoints to [`PeerState::Connected`] — iff
     /// the acceptor is currently listening and the pair is an edge of
-    /// `topology`. The initiator must be [`PeerState::Proposing`]; on
-    /// failure it stays so (callers typically [`cancel`](Self::cancel) it
-    /// back into its scan cycle). Panics in debug builds if the proposal
-    /// targets a non-neighbor (a protocol bug); in release such proposals
-    /// simply fail.
-    pub fn try_connect(
+    /// `topology` *at arrival time*. The initiator must be
+    /// [`PeerState::Proposing`]; on failure it stays so (callers typically
+    /// [`cancel`](Self::cancel) it back into its scan cycle). A proposal
+    /// across a non-edge simply fails: under a dynamic topology the edge
+    /// may legitimately have vanished — endpoint died, link faded, node
+    /// moved — while the proposal was in flight.
+    pub fn try_connect<G: GraphView + ?Sized>(
         &mut self,
-        topology: &Topology,
+        topology: &G,
         initiator: NodeId,
         acceptor: NodeId,
     ) -> bool {
         debug_assert_eq!(self.states[initiator.index()], PeerState::Proposing);
-        debug_assert!(
-            topology.are_neighbors(initiator, acceptor),
-            "protocol proposed {initiator} -> {acceptor} across a non-edge"
-        );
         if !topology.are_neighbors(initiator, acceptor)
             || self.states[acceptor.index()] != PeerState::Listening
         {

@@ -8,6 +8,59 @@
 
 use crate::{NodeId, Rng};
 
+/// Read access to an undirected graph over dense node ids, with sorted
+/// per-node neighbor slices.
+///
+/// Both the static [`Topology`] and the mutable
+/// [`DynamicTopology`](crate::DynamicTopology) implement this view, so the
+/// matching resolvers — and anything else that only *reads* adjacency —
+/// run unchanged over a frozen graph or one mutating under churn. For a
+/// dynamic graph the view exposes the **currently active** edges: both
+/// endpoints alive and the edge not faded out.
+pub trait GraphView {
+    /// Number of nodes (alive or not) in the graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Sorted neighbors of `node` visible through this view.
+    fn neighbors(&self, node: NodeId) -> &[NodeId];
+
+    /// Are `u` and `v` adjacent through this view?
+    fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+/// The point set and connection radius behind a random geometric graph,
+/// for consumers that need the embedding itself — e.g. waypoint mobility
+/// models that move nodes and re-derive radius-based edges.
+#[derive(Clone, Debug)]
+pub struct RggGeometry {
+    /// Node positions in the unit square, indexed by node id.
+    pub positions: Vec<(f64, f64)>,
+    /// Connection radius: nodes within this distance are adjacent.
+    pub radius: f64,
+}
+
+impl RggGeometry {
+    /// Sorted ids of every node within `radius` of `node`'s position
+    /// (excluding `node` itself), against the current `positions`.
+    pub fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
+        let (x, y) = self.positions[node.index()];
+        let r2 = self.radius * self.radius;
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|&(v, &(px, py))| {
+                v != node.index() && {
+                    let (dx, dy) = (x - px, y - py);
+                    dx * dx + dy * dy <= r2
+                }
+            })
+            .map(|(v, _)| NodeId(v as u32))
+            .collect()
+    }
+}
+
 /// An undirected graph over nodes `0..num_nodes()`, with sorted adjacency
 /// lists for cache-friendly scans and `O(log degree)` membership checks.
 #[derive(Clone, Debug)]
@@ -90,6 +143,13 @@ impl Topology {
     /// until the graph is connected, so the result is always usable for
     /// gossip while staying sparse. Deterministic in `rng`.
     pub fn random_geometric(n: usize, rng: &mut Rng) -> Self {
+        Self::random_geometric_with_geometry(n, rng).0
+    }
+
+    /// [`random_geometric`](Self::random_geometric), also returning the
+    /// point set and final radius so mobility models can move the nodes
+    /// and re-derive radius-based edges. Same RNG consumption, same graph.
+    pub fn random_geometric_with_geometry(n: usize, rng: &mut Rng) -> (Self, RggGeometry) {
         let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
         let mut radius = if n > 1 {
             (2.0 * (n as f64).ln() / n as f64).sqrt()
@@ -109,7 +169,11 @@ impl Topology {
             }
             let topo = Self::from_edges("random_geometric", n, &edges);
             if topo.is_connected() {
-                return topo;
+                let geometry = RggGeometry {
+                    positions: pts,
+                    radius,
+                };
+                return (topo, geometry);
             }
             radius *= 1.25;
         }
@@ -165,6 +229,20 @@ impl Topology {
             }
         }
         visited == n
+    }
+}
+
+impl GraphView for Topology {
+    fn num_nodes(&self) -> usize {
+        Topology::num_nodes(self)
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        Topology::neighbors(self, node)
+    }
+
+    fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
+        Topology::are_neighbors(self, u, v)
     }
 }
 

@@ -1,0 +1,170 @@
+//! Property tests for the static topology builders: exact edge counts for
+//! the regular families, structural invariants of `from_edges` (symmetry,
+//! sortedness, dedup), and connectivity across all builders and sizes.
+
+use gossip_core::{NodeId, Rng, Topology};
+
+/// Every adjacency list is sorted, duplicate-free, self-loop-free, and
+/// symmetric (`v ∈ adj[u]` iff `u ∈ adj[v]`).
+fn assert_well_formed(t: &Topology) {
+    for u in 0..t.num_nodes() {
+        let u = NodeId(u as u32);
+        let neighbors = t.neighbors(u);
+        assert!(
+            neighbors.windows(2).all(|w| w[0] < w[1]),
+            "{}: neighbors of {u} not strictly sorted (dup or disorder)",
+            t.name()
+        );
+        for &v in neighbors {
+            assert_ne!(v, u, "{}: self-loop at {u}", t.name());
+            assert!(
+                t.are_neighbors(v, u),
+                "{}: asymmetric edge {u} -> {v}",
+                t.name()
+            );
+        }
+    }
+    // Degree sum is even and consistent with the edge count.
+    let degree_sum: usize = (0..t.num_nodes()).map(|u| t.degree(NodeId(u as u32))).sum();
+    assert_eq!(degree_sum, 2 * t.num_edges(), "{}", t.name());
+}
+
+#[test]
+fn line_edge_counts_and_connectivity() {
+    for n in 1..=40 {
+        let t = Topology::line(n);
+        assert_eq!(t.num_edges(), n - 1, "line({n})");
+        assert!(t.is_connected(), "line({n})");
+        assert_well_formed(&t);
+    }
+}
+
+#[test]
+fn ring_edge_counts_and_regularity() {
+    for n in 1..=40 {
+        let t = Topology::ring(n);
+        let expected = match n {
+            1 => 0,
+            2 => 1,
+            n => n,
+        };
+        assert_eq!(t.num_edges(), expected, "ring({n})");
+        assert!(t.is_connected(), "ring({n})");
+        assert_well_formed(&t);
+        if n >= 3 {
+            for u in 0..n {
+                assert_eq!(t.degree(NodeId(u as u32)), 2, "ring({n}) node {u}");
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_edge_counts_match_the_lattice() {
+    // Independent count: `rows = floor(sqrt n)`, `cols = ceil(n / rows)`,
+    // nodes laid out row-major; horizontal edges join row-adjacent cells,
+    // vertical edges join column-adjacent cells.
+    for n in 1..=80 {
+        let t = Topology::grid(n);
+        let rows = (n as f64).sqrt().floor().max(1.0) as usize;
+        let cols = n.div_ceil(rows);
+        let horizontal = (0..n).filter(|i| i % cols + 1 < cols && i + 1 < n).count();
+        let vertical = (0..n).filter(|i| i + cols < n).count();
+        assert_eq!(t.num_edges(), horizontal + vertical, "grid({n})");
+        assert!(t.is_connected(), "grid({n})");
+        assert_well_formed(&t);
+        for u in 0..n {
+            assert!(t.degree(NodeId(u as u32)) <= 4, "grid({n}) node {u}");
+        }
+    }
+}
+
+#[test]
+fn complete_edge_counts() {
+    for n in 1..=30 {
+        let t = Topology::complete(n);
+        assert_eq!(t.num_edges(), n * (n - 1) / 2, "complete({n})");
+        assert!(t.is_connected(), "complete({n})");
+        assert_well_formed(&t);
+    }
+}
+
+#[test]
+fn random_geometric_is_connected_and_well_formed_across_seeds() {
+    for seed in 0..8 {
+        let mut rng = Rng::new(seed);
+        let t = Topology::random_geometric(40, &mut rng);
+        assert!(t.is_connected(), "rgg seed {seed}");
+        assert_well_formed(&t);
+    }
+}
+
+#[test]
+fn rgg_geometry_matches_the_graph() {
+    // The returned point set and radius must reproduce exactly the edges
+    // the builder chose — the contract mobility models depend on.
+    let mut rng = Rng::new(17);
+    let (t, geometry) = Topology::random_geometric_with_geometry(50, &mut rng);
+    assert_eq!(geometry.positions.len(), 50);
+    for u in 0..50u32 {
+        let derived = geometry.neighbors_of(NodeId(u));
+        assert_eq!(
+            derived,
+            t.neighbors(NodeId(u)).to_vec(),
+            "geometry-derived neighbors of {u} diverge from the graph"
+        );
+    }
+}
+
+#[test]
+fn from_edges_dedups_and_symmetrizes() {
+    // Duplicates (in both orientations) and self-loops collapse away.
+    let t = Topology::from_edges(
+        "messy",
+        5,
+        &[(0, 1), (1, 0), (0, 1), (2, 2), (3, 4), (4, 3), (1, 4)],
+    );
+    assert_eq!(t.num_edges(), 3);
+    assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1)]);
+    assert_eq!(t.neighbors(NodeId(1)), &[NodeId(0), NodeId(4)]);
+    assert_eq!(t.neighbors(NodeId(2)), &[] as &[NodeId]);
+    assert_well_formed(&t);
+}
+
+#[test]
+fn from_edges_random_inputs_stay_well_formed() {
+    for seed in 0..10 {
+        let mut rng = Rng::new(1000 + seed);
+        let n = 2 + rng.gen_range(30);
+        let m = rng.gen_range(3 * n);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| (rng.gen_range(n) as u32, rng.gen_range(n) as u32))
+            .collect();
+        let t = Topology::from_edges("random", n, &edges);
+        assert_well_formed(&t);
+        // Every requested non-loop edge is present.
+        for &(u, v) in &edges {
+            if u != v {
+                assert!(
+                    t.are_neighbors(NodeId(u), NodeId(v)),
+                    "seed {seed}: {u}-{v}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn builders_degrade_gracefully_on_empty_graphs() {
+    for t in [
+        Topology::line(0),
+        Topology::ring(0),
+        Topology::grid(0),
+        Topology::complete(0),
+        Topology::from_edges("empty", 0, &[]),
+    ] {
+        assert_eq!(t.num_nodes(), 0);
+        assert_eq!(t.num_edges(), 0);
+        assert!(t.is_connected(), "empty graph counts as connected");
+    }
+}

@@ -1,0 +1,257 @@
+//! Node churn: devices depart and (optionally) rejoin.
+
+use crate::{geometric_ticks, DynamicsModel, Mutation, MutationKind, MutationStream};
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gossip_core::{NodeId, Rng, SimTime, Topology};
+
+/// What a rejoining node remembers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RejoinPolicy {
+    /// The device comes back with its message set intact (it was merely
+    /// out of range or powered down; storage persists).
+    #[default]
+    Keep,
+    /// The device comes back empty and must re-learn everything. Sources
+    /// still re-learn the rumors they originated — the rumor is their own
+    /// data — so a rumor can never go permanently extinct while its
+    /// source churns.
+    Lose,
+    /// Departed nodes never return. The network can drain; a run where
+    /// every node departs simply idles to its cap.
+    Never,
+}
+
+/// Memoryless node churn. Each alive node departs after a geometrically
+/// sampled lifetime with per-round departure probability `rate` (mean
+/// lifetime `1/rate` rounds); a departed node rejoins after a geometric
+/// downtime with mean `mean_downtime` rounds, unless the policy is
+/// [`RejoinPolicy::Never`].
+#[derive(Clone, Copy, Debug)]
+pub struct Churn {
+    /// Per-round departure probability of an alive node, in `(0, 1)`.
+    pub rate: f64,
+    /// What a rejoining node remembers.
+    pub rejoin: RejoinPolicy,
+    /// Mean downtime in rounds, `> 0`.
+    pub mean_downtime: f64,
+}
+
+/// Default mean downtime: a few rounds out of the network.
+pub const DEFAULT_MEAN_DOWNTIME_ROUNDS: f64 = 4.0;
+
+impl Default for Churn {
+    fn default() -> Self {
+        Churn {
+            rate: 0.1,
+            rejoin: RejoinPolicy::Keep,
+            mean_downtime: DEFAULT_MEAN_DOWNTIME_ROUNDS,
+        }
+    }
+}
+
+impl DynamicsModel for Churn {
+    fn name(&self) -> String {
+        "churn".to_string()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(self.rate > 0.0 && self.rate < 1.0) {
+            return Err(format!(
+                "churn rate {} must lie in (0, 1); omit churn entirely for a static run",
+                self.rate
+            ));
+        }
+        if !(self.mean_downtime > 0.0 && self.mean_downtime.is_finite()) {
+            return Err(format!(
+                "mean downtime {} must be a positive number of rounds",
+                self.mean_downtime
+            ));
+        }
+        Ok(())
+    }
+
+    fn stream(&self, topology: &Topology, seed: u64) -> Box<dyn MutationStream> {
+        let mut rng = Rng::new(seed);
+        let mut heap = BinaryHeap::with_capacity(topology.num_nodes());
+        let mut seq = 0u64;
+        for u in 0..topology.num_nodes() as u32 {
+            let lifetime = geometric_ticks(self.rate, &mut rng);
+            heap.push(Reverse((SimTime(lifetime), seq, u, Transition::Depart)));
+            seq += 1;
+        }
+        Box::new(ChurnStream {
+            model: *self,
+            rng,
+            heap,
+            seq,
+        })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Transition {
+    Depart,
+    Rejoin,
+}
+
+struct ChurnStream {
+    model: Churn,
+    rng: Rng,
+    /// Min-heap of per-node pending transitions, ordered by `(time, seq)`
+    /// so simultaneous transitions fire in scheduling order.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32, Transition)>>,
+    seq: u64,
+}
+
+impl MutationStream for ChurnStream {
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, ..))| *t)
+    }
+
+    fn next(&mut self) -> Option<Mutation> {
+        let Reverse((time, _, node, transition)) = self.heap.pop()?;
+        let node = NodeId(node);
+        match transition {
+            Transition::Depart => {
+                if self.model.rejoin != RejoinPolicy::Never {
+                    let downtime = geometric_ticks(1.0 / self.model.mean_downtime, &mut self.rng);
+                    self.heap.push(Reverse((
+                        time.after(downtime),
+                        self.seq,
+                        node.0,
+                        Transition::Rejoin,
+                    )));
+                    self.seq += 1;
+                }
+                Some(Mutation {
+                    time,
+                    kind: MutationKind::Depart(node),
+                })
+            }
+            Transition::Rejoin => {
+                let lifetime = geometric_ticks(self.model.rate, &mut self.rng);
+                self.heap.push(Reverse((
+                    time.after(lifetime),
+                    self.seq,
+                    node.0,
+                    Transition::Depart,
+                )));
+                self.seq += 1;
+                Some(Mutation {
+                    time,
+                    kind: MutationKind::Rejoin {
+                        node,
+                        reset_messages: self.model.rejoin == RejoinPolicy::Lose,
+                    },
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(model: &Churn, topo: &Topology, seed: u64, count: usize) -> Vec<Mutation> {
+        let mut stream = model.stream(topo, seed);
+        (0..count).filter_map(|_| stream.next()).collect()
+    }
+
+    #[test]
+    fn nodes_alternate_depart_and_rejoin() {
+        let model = Churn {
+            rate: 0.5,
+            rejoin: RejoinPolicy::Keep,
+            mean_downtime: 1.0,
+        };
+        let topo = Topology::ring(6);
+        let mutations = drain(&model, &topo, 3, 100);
+        let mut down = [false; 6];
+        let mut last = SimTime::ZERO;
+        for m in &mutations {
+            assert!(m.time >= last);
+            last = m.time;
+            match m.kind {
+                MutationKind::Depart(u) => {
+                    assert!(!down[u.index()], "{u} departed twice in a row");
+                    down[u.index()] = true;
+                }
+                MutationKind::Rejoin {
+                    node,
+                    reset_messages,
+                } => {
+                    assert!(down[node.index()], "{node} rejoined while alive");
+                    assert!(!reset_messages, "Keep policy must not reset");
+                    down[node.index()] = false;
+                }
+                ref other => panic!("churn emitted {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lose_policy_marks_resets() {
+        let model = Churn {
+            rate: 0.5,
+            rejoin: RejoinPolicy::Lose,
+            mean_downtime: 1.0,
+        };
+        let topo = Topology::ring(4);
+        let rejoins = drain(&model, &topo, 1, 50)
+            .into_iter()
+            .filter(|m| matches!(m.kind, MutationKind::Rejoin { .. }))
+            .count();
+        assert!(rejoins > 0, "expected rejoins in 50 mutations");
+        for m in drain(&model, &topo, 1, 50) {
+            if let MutationKind::Rejoin { reset_messages, .. } = m.kind {
+                assert!(reset_messages, "Lose policy must reset");
+            }
+        }
+    }
+
+    #[test]
+    fn never_policy_exhausts_after_n_departures() {
+        let model = Churn {
+            rate: 0.5,
+            rejoin: RejoinPolicy::Never,
+            mean_downtime: 1.0,
+        };
+        let topo = Topology::ring(5);
+        let mut stream = model.stream(&topo, 9);
+        let mut departures = 0;
+        while let Some(m) = stream.next() {
+            assert!(matches!(m.kind, MutationKind::Depart(_)));
+            departures += 1;
+            assert!(departures <= 5, "more departures than nodes");
+        }
+        assert_eq!(departures, 5);
+        assert_eq!(stream.peek_time(), None);
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let model = Churn::default();
+        let topo = Topology::grid(20);
+        assert_eq!(drain(&model, &topo, 42, 200), drain(&model, &topo, 42, 200));
+        assert_ne!(drain(&model, &topo, 42, 200), drain(&model, &topo, 43, 200));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_rates() {
+        let ok = Churn::default();
+        assert!(ok.validate().is_ok());
+        assert!(Churn { rate: 0.0, ..ok }.validate().is_err());
+        assert!(Churn { rate: 1.0, ..ok }.validate().is_err());
+        assert!(Churn { rate: -0.2, ..ok }.validate().is_err());
+        assert!(Churn {
+            mean_downtime: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+}

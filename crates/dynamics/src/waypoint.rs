@@ -1,0 +1,200 @@
+//! Random-waypoint mobility over a random geometric graph.
+
+use crate::{DynamicsModel, Mutation, MutationKind, MutationStream};
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gossip_core::{NodeId, RggGeometry, Rng, SimTime, Topology, TICKS_PER_ROUND};
+
+/// Random-waypoint mobility: each node of a random geometric graph walks
+/// to a uniformly chosen waypoint in the unit square at a per-leg speed
+/// drawn from `[0.5, 1.5] × speed` units per round, then immediately picks
+/// the next waypoint. On arrival the node's radius-based edges are
+/// re-derived against every other node's current position and emitted as a
+/// [`MutationKind::Rewire`].
+///
+/// Positions update lazily — a node's position changes only at its own
+/// arrival events — which keeps every event `O(n)` and the whole stream an
+/// exact function of the seed. The `geometry` must be the one returned by
+/// [`Topology::random_geometric_with_geometry`] for the run's topology, so
+/// the initial graph and the mobility model agree on where everyone is.
+#[derive(Clone, Debug)]
+pub struct Waypoint {
+    /// Initial positions and connection radius of the RGG being walked.
+    pub geometry: RggGeometry,
+    /// Nominal speed in unit-square units per round, `> 0`.
+    pub speed: f64,
+}
+
+/// Default nominal speed: crossing the unit square takes ~20 rounds.
+pub const DEFAULT_SPEED_PER_ROUND: f64 = 0.05;
+
+impl DynamicsModel for Waypoint {
+    fn name(&self) -> String {
+        "waypoint".to_string()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if !(self.speed > 0.0 && self.speed.is_finite()) {
+            return Err(format!(
+                "waypoint speed {} must be a positive number of units per round",
+                self.speed
+            ));
+        }
+        if !(self.geometry.radius > 0.0 && self.geometry.radius.is_finite()) {
+            return Err(format!(
+                "connection radius {} must be positive",
+                self.geometry.radius
+            ));
+        }
+        Ok(())
+    }
+
+    fn stream(&self, topology: &Topology, seed: u64) -> Box<dyn MutationStream> {
+        assert_eq!(
+            self.geometry.positions.len(),
+            topology.num_nodes(),
+            "waypoint geometry must cover exactly the run's topology"
+        );
+        let n = topology.num_nodes();
+        let mut stream = WaypointStream {
+            speed: self.speed,
+            geometry: self.geometry.clone(),
+            targets: vec![(0.0, 0.0); n],
+            rng: Rng::new(seed),
+            heap: BinaryHeap::with_capacity(n),
+            seq: 0,
+        };
+        for u in 0..n as u32 {
+            stream.depart_for_next_waypoint(NodeId(u), SimTime::ZERO);
+        }
+        Box::new(stream)
+    }
+}
+
+struct WaypointStream {
+    speed: f64,
+    /// `geometry.positions` holds every node's *current* position.
+    geometry: RggGeometry,
+    targets: Vec<(f64, f64)>,
+    rng: Rng,
+    /// Min-heap of `(arrival time, seq, node)`.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    seq: u64,
+}
+
+impl WaypointStream {
+    /// Pick `node`'s next waypoint and per-leg speed, and schedule its
+    /// arrival. Travel time is distance over speed, in round-sized units.
+    fn depart_for_next_waypoint(&mut self, node: NodeId, now: SimTime) {
+        let (x, y) = self.geometry.positions[node.index()];
+        let target = (self.rng.gen_f64(), self.rng.gen_f64());
+        let leg_speed = self.speed * (0.5 + self.rng.gen_f64());
+        let dist = ((x - target.0).powi(2) + (y - target.1).powi(2)).sqrt();
+        let ticks = ((dist / leg_speed) * TICKS_PER_ROUND as f64)
+            .ceil()
+            .max(1.0) as u64;
+        self.targets[node.index()] = target;
+        self.heap
+            .push(Reverse((now.after(ticks), self.seq, node.0)));
+        self.seq += 1;
+    }
+}
+
+impl MutationStream for WaypointStream {
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, ..))| *t)
+    }
+
+    fn next(&mut self) -> Option<Mutation> {
+        let Reverse((time, _, node)) = self.heap.pop()?;
+        let node = NodeId(node);
+        self.geometry.positions[node.index()] = self.targets[node.index()];
+        let neighbors = self.geometry.neighbors_of(node);
+        self.depart_for_next_waypoint(node, time);
+        Some(Mutation {
+            time,
+            kind: MutationKind::Rewire { node, neighbors },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n: usize, seed: u64) -> (Waypoint, Topology) {
+        let mut rng = Rng::new(seed);
+        let (topo, geometry) = Topology::random_geometric_with_geometry(n, &mut rng);
+        (
+            Waypoint {
+                geometry,
+                speed: DEFAULT_SPEED_PER_ROUND,
+            },
+            topo,
+        )
+    }
+
+    #[test]
+    fn emits_valid_rewires_in_time_order() {
+        let (model, topo) = model(20, 11);
+        let mut stream = model.stream(&topo, 5);
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            let m = stream.next().expect("mobility never stops");
+            assert!(m.time >= last);
+            last = m.time;
+            let MutationKind::Rewire { node, neighbors } = m.kind else {
+                panic!("waypoint emitted a non-rewire mutation");
+            };
+            assert!(node.index() < 20);
+            assert!(neighbors.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            assert!(!neighbors.contains(&node), "no self-loops");
+            assert!(neighbors.iter().all(|v| v.index() < 20));
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let (model, topo) = model(15, 3);
+        let drain = |seed| {
+            let mut s = model.stream(&topo, seed);
+            (0..120).filter_map(|_| s.next()).collect::<Vec<_>>()
+        };
+        assert_eq!(drain(9), drain(9));
+        assert_ne!(drain(9), drain(10));
+    }
+
+    #[test]
+    fn every_node_eventually_moves() {
+        let (model, topo) = model(10, 21);
+        let mut stream = model.stream(&topo, 2);
+        let mut moved = std::collections::HashSet::new();
+        for _ in 0..200 {
+            if let Some(Mutation {
+                kind: MutationKind::Rewire { node, .. },
+                ..
+            }) = stream.next()
+            {
+                moved.insert(node);
+            }
+        }
+        assert_eq!(moved.len(), 10, "all nodes should reach waypoints");
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_speeds() {
+        let (ok, _) = model(5, 1);
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.speed = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.speed = f64::INFINITY;
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.geometry.radius = 0.0;
+        assert!(bad.validate().is_err());
+    }
+}

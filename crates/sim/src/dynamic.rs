@@ -1,0 +1,413 @@
+//! Shared machinery for runs over a mutating network: mutation
+//! application, churn-aware completion tracking, and the coverage
+//! timeline. Both schedulers route their dynamics bookkeeping through
+//! [`DynRun`] so the semantics — what a departure does to the completion
+//! condition, what a rejoining source remembers — cannot diverge between
+//! execution models.
+
+use crate::metrics::{CoveragePoint, DynamicsStats};
+
+use gossip_core::time::TICKS_PER_ROUND;
+use gossip_core::{DynamicTopology, MessageSet, NodeId, SimTime, Topology};
+use gossip_dynamics::{dynamics_seed, DynamicsModel, Mutation, MutationKind, MutationStream};
+
+/// Timeline points before thinning kicks in: beyond this, every other
+/// point is dropped and the sampling stride doubles, so the timeline stays
+/// bounded no matter how long the run or how hot the churn.
+const TIMELINE_CAP: usize = 2048;
+
+/// The dynamics-side state of one run: the mutating topology, the
+/// mutation stream driving it, churn-aware counters, and accumulated
+/// [`DynamicsStats`].
+pub(crate) struct DynRun {
+    pub topo: DynamicTopology,
+    stream: Box<dyn MutationStream>,
+    pub stats: DynamicsStats,
+    /// Alive nodes currently holding the full message universe. The
+    /// completion condition is `alive_informed == alive_count > 0`.
+    pub alive_informed: usize,
+    /// Messages held across currently-alive nodes.
+    pub alive_messages: usize,
+    /// Rounds per coverage-timeline sample window (doubles on thinning).
+    timeline_stride: u64,
+}
+
+impl DynRun {
+    /// Instantiate `dynamics` for a run: both schedulers derive the
+    /// stream seed identically from the engine seed, so sync and async
+    /// runs of one experiment face the same mutation sequence.
+    pub fn new(
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
+        seed: u64,
+        states: &[MessageSet],
+    ) -> Self {
+        dynamics
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid dynamics config: {e}"));
+        let n = topology.num_nodes();
+        let alive_informed = states.iter().filter(|s| s.is_full()).count();
+        let alive_messages = states.iter().map(MessageSet::count).sum();
+        let mut run = DynRun {
+            topo: DynamicTopology::new(topology),
+            stream: dynamics.stream(topology, dynamics_seed(seed)),
+            stats: DynamicsStats {
+                model: dynamics.name(),
+                departures: 0,
+                rejoins: 0,
+                edge_downs: 0,
+                edge_ups: 0,
+                rewires: 0,
+                severed_connections: 0,
+                peak_alive: n,
+                min_alive: n,
+                final_alive: n,
+                coverage_timeline: Vec::new(),
+            },
+            alive_informed,
+            alive_messages,
+            timeline_stride: 1,
+        };
+        run.record(SimTime::ZERO);
+        run
+    }
+
+    /// Virtual time of the next pending mutation, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.stream.peek_time()
+    }
+
+    /// Pop the next mutation without applying it (the event-driven
+    /// scheduler intercepts departures to sever open connections first).
+    pub fn pop(&mut self) -> Option<Mutation> {
+        self.stream.next()
+    }
+
+    /// Is gossip complete right now? Every alive node holds the full
+    /// universe, and the network is not empty.
+    pub fn complete(&self) -> bool {
+        self.topo.alive_count() > 0 && self.alive_informed == self.topo.alive_count()
+    }
+
+    /// Apply one mutation: the topology-side effect (one source of truth:
+    /// [`MutationKind::apply`]) plus the gossip-side bookkeeping — message
+    /// resets, alive/informed counters, stats, coverage timeline. Returns
+    /// whether anything changed.
+    pub fn apply(
+        &mut self,
+        mutation: &Mutation,
+        states: &mut [MessageSet],
+        sources: &[NodeId],
+    ) -> bool {
+        if !mutation.kind.apply(&mut self.topo) {
+            return false;
+        }
+        match &mutation.kind {
+            MutationKind::Depart(u) => {
+                self.stats.departures += 1;
+                let s = &states[u.index()];
+                self.alive_informed -= s.is_full() as usize;
+                self.alive_messages -= s.count();
+                self.stats.min_alive = self.stats.min_alive.min(self.topo.alive_count());
+            }
+            MutationKind::Rejoin {
+                node,
+                reset_messages,
+            } => {
+                self.stats.rejoins += 1;
+                if *reset_messages {
+                    let s = &mut states[node.index()];
+                    *s = MessageSet::new(s.universe());
+                    // A source re-learns the rumors it originated: the
+                    // rumor is its own data, so it cannot go permanently
+                    // extinct while its source churns.
+                    for (m, src) in sources.iter().enumerate() {
+                        if src == node {
+                            s.insert(m);
+                        }
+                    }
+                }
+                let s = &states[node.index()];
+                self.alive_informed += s.is_full() as usize;
+                self.alive_messages += s.count();
+                self.stats.peak_alive = self.stats.peak_alive.max(self.topo.alive_count());
+            }
+            MutationKind::EdgeDown(..) => self.stats.edge_downs += 1,
+            MutationKind::EdgeUp(..) => self.stats.edge_ups += 1,
+            MutationKind::Rewire { .. } => self.stats.rewires += 1,
+        }
+        self.record(mutation.time);
+        true
+    }
+
+    /// Apply every pending mutation with time strictly before `horizon`.
+    /// The synchronous scheduler calls this at each round boundary with
+    /// the round's end time, so a mutation takes effect at the start of
+    /// the round whose window contains it. Returns whether anything
+    /// changed.
+    pub fn drain_until(
+        &mut self,
+        horizon: SimTime,
+        states: &mut [MessageSet],
+        sources: &[NodeId],
+    ) -> bool {
+        let mut changed = false;
+        while self.stream.peek_time().is_some_and(|t| t < horizon) {
+            let mutation = self.stream.next().expect("peeked mutation must pop");
+            changed |= self.apply(&mutation, states, sources);
+        }
+        changed
+    }
+
+    /// Sample the coverage timeline at `time` if the alive/informed pair
+    /// changed since the last sample. Within one stride window the latest
+    /// sample wins, and when the timeline outgrows its cap it is thinned
+    /// to every other point with a doubled stride — bounded memory at
+    /// full fidelity for short runs, coarse fidelity for long ones.
+    pub fn record(&mut self, time: SimTime) {
+        let alive = self.topo.alive_count();
+        let informed_alive = self.alive_informed;
+        let point = CoveragePoint {
+            time: time.ticks(),
+            alive,
+            informed_alive,
+        };
+        let timeline = &mut self.stats.coverage_timeline;
+        if let Some(last) = timeline.last() {
+            if last.alive == alive && last.informed_alive == informed_alive {
+                return;
+            }
+        }
+        let window = self.timeline_stride * TICKS_PER_ROUND;
+        if timeline.len() > 1 {
+            let last = timeline.last_mut().expect("len > 1");
+            if last.time / window == point.time / window {
+                *last = point;
+                return;
+            }
+        }
+        timeline.push(point);
+        if timeline.len() >= TIMELINE_CAP {
+            let mut i = 0usize;
+            timeline.retain(|_| {
+                let keep = i.is_multiple_of(2);
+                i += 1;
+                keep
+            });
+            self.timeline_stride *= 2;
+        }
+    }
+
+    /// Finalize and hand over the stats.
+    pub fn finish(mut self, end: SimTime) -> DynamicsStats {
+        self.record(end);
+        self.stats.final_alive = self.topo.alive_count();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NoDynamics;
+
+    impl DynamicsModel for NoDynamics {
+        fn name(&self) -> String {
+            "none".to_string()
+        }
+        fn validate(&self) -> Result<(), String> {
+            Ok(())
+        }
+        fn stream(&self, _topology: &Topology, _seed: u64) -> Box<dyn MutationStream> {
+            struct Empty;
+            impl MutationStream for Empty {
+                fn peek_time(&self) -> Option<SimTime> {
+                    None
+                }
+                fn next(&mut self) -> Option<Mutation> {
+                    None
+                }
+            }
+            Box::new(Empty)
+        }
+    }
+
+    fn setup(k: usize, sources: &[NodeId]) -> (DynRun, Vec<MessageSet>) {
+        let topo = Topology::ring(4);
+        let mut states: Vec<MessageSet> = (0..4).map(|_| MessageSet::new(k)).collect();
+        for (m, s) in sources.iter().enumerate() {
+            states[s.index()].insert(m);
+        }
+        let run = DynRun::new(&topo, &NoDynamics, 1, &states);
+        (run, states)
+    }
+
+    fn at(time: u64, kind: MutationKind) -> Mutation {
+        Mutation {
+            time: SimTime(time),
+            kind,
+        }
+    }
+
+    #[test]
+    fn departure_updates_completion_counters() {
+        let sources = [NodeId(0)];
+        let (mut run, mut states) = setup(1, &sources);
+        assert_eq!(run.alive_informed, 1);
+        assert!(!run.complete(), "3 uninformed nodes remain");
+
+        // Killing the informed source leaves 3 alive, none informed.
+        assert!(run.apply(
+            &at(10, MutationKind::Depart(NodeId(0))),
+            &mut states,
+            &sources
+        ));
+        assert_eq!(run.alive_informed, 0);
+        assert_eq!(run.alive_messages, 0);
+        assert_eq!(run.stats.departures, 1);
+        assert_eq!(run.stats.min_alive, 3);
+
+        // Killing the remaining uninformed nodes can never complete the
+        // run: an empty network is not a covered one.
+        for u in 1..4 {
+            run.apply(
+                &at(20, MutationKind::Depart(NodeId(u))),
+                &mut states,
+                &sources,
+            );
+        }
+        assert_eq!(run.topo.alive_count(), 0);
+        assert!(!run.complete(), "empty networks never complete");
+        assert_eq!(run.stats.min_alive, 0);
+    }
+
+    #[test]
+    fn killing_the_uninformed_tail_completes() {
+        let sources = [NodeId(0)];
+        let (mut run, mut states) = setup(1, &sources);
+        for u in 1..4 {
+            run.apply(
+                &at(5, MutationKind::Depart(NodeId(u))),
+                &mut states,
+                &sources,
+            );
+        }
+        assert!(run.complete(), "the lone survivor holds everything");
+    }
+
+    #[test]
+    fn rejoin_with_reset_relearns_only_owned_rumors() {
+        let sources = [NodeId(0), NodeId(2)];
+        let (mut run, mut states) = setup(2, &sources);
+        // Node 2 learns rumor 0 as well, then churns with the Lose policy.
+        states[2].insert(0);
+        run.alive_messages += 1;
+        run.alive_informed += 1;
+
+        run.apply(
+            &at(5, MutationKind::Depart(NodeId(2))),
+            &mut states,
+            &sources,
+        );
+        assert_eq!(run.alive_informed, 0);
+        assert!(run.apply(
+            &at(
+                9,
+                MutationKind::Rejoin {
+                    node: NodeId(2),
+                    reset_messages: true
+                }
+            ),
+            &mut states,
+            &sources,
+        ));
+        // The learned rumor 0 is gone; its own rumor 1 is re-learned.
+        assert!(!states[2].contains(0));
+        assert!(states[2].contains(1));
+        assert_eq!(run.stats.rejoins, 1);
+        assert_eq!(run.alive_informed, 0);
+        assert_eq!(run.stats.peak_alive, 4);
+    }
+
+    #[test]
+    fn rejoin_with_keep_preserves_the_set() {
+        let sources = [NodeId(0)];
+        let (mut run, mut states) = setup(1, &sources);
+        run.apply(
+            &at(5, MutationKind::Depart(NodeId(0))),
+            &mut states,
+            &sources,
+        );
+        run.apply(
+            &at(
+                9,
+                MutationKind::Rejoin {
+                    node: NodeId(0),
+                    reset_messages: false,
+                },
+            ),
+            &mut states,
+            &sources,
+        );
+        assert!(states[0].contains(0));
+        assert_eq!(run.alive_informed, 1);
+    }
+
+    #[test]
+    fn duplicate_mutations_are_no_ops() {
+        let sources = [NodeId(0)];
+        let (mut run, mut states) = setup(1, &sources);
+        assert!(run.apply(
+            &at(1, MutationKind::Depart(NodeId(1))),
+            &mut states,
+            &sources
+        ));
+        assert!(!run.apply(
+            &at(2, MutationKind::Depart(NodeId(1))),
+            &mut states,
+            &sources
+        ));
+        assert_eq!(run.stats.departures, 1);
+        assert!(!run.apply(
+            &at(3, MutationKind::EdgeDown(NodeId(0), NodeId(2))),
+            &mut states,
+            &sources,
+        ));
+        assert_eq!(run.stats.edge_downs, 0, "non-edges cannot fade");
+    }
+
+    #[test]
+    fn timeline_records_changes_and_stays_bounded() {
+        let sources = [NodeId(0)];
+        let (mut run, mut states) = setup(1, &sources);
+        assert_eq!(
+            run.stats.coverage_timeline,
+            vec![CoveragePoint {
+                time: 0,
+                alive: 4,
+                informed_alive: 1
+            }],
+            "the t=0 anchor is always present"
+        );
+        // Flapping a node across many rounds grows the timeline, but the
+        // cap thins it instead of letting it grow without bound.
+        for i in 0..200_000u64 {
+            let kind = if i % 2 == 0 {
+                MutationKind::Depart(NodeId(1))
+            } else {
+                MutationKind::Rejoin {
+                    node: NodeId(1),
+                    reset_messages: false,
+                }
+            };
+            run.apply(&at(i * TICKS_PER_ROUND * 2, kind), &mut states, &sources);
+        }
+        let timeline = &run.stats.coverage_timeline;
+        assert!(timeline.len() < 4096, "timeline must stay bounded");
+        assert!(timeline.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(timeline
+            .iter()
+            .all(|p| p.informed_alive <= p.alive && p.alive <= 4));
+    }
+}

@@ -25,6 +25,7 @@
 //! ordered by `(time, sequence-number)`, so runs are exactly reproducible
 //! from the seed.
 
+use crate::dynamic::DynRun;
 use crate::metrics::RoundStats;
 use crate::scheduler::{init_run, ordered_pair, Scheduler};
 use crate::{SimConfig, SimResult};
@@ -36,6 +37,7 @@ use gossip_core::time::{SimTime, TimingConfig, TICKS_PER_ROUND};
 use gossip_core::{
     Advertisement, IncrementalMatcher, Intent, MessageSet, NodeId, PeerState, Rng, Topology,
 };
+use gossip_dynamics::{DynamicsModel, MutationKind};
 use gossip_protocols::{GossipProtocol, NodeCtx};
 
 /// Event-driven scheduler for the asynchronous mobile telephone model.
@@ -64,30 +66,57 @@ enum Event {
     Finish { initiator: NodeId, acceptor: NodeId },
 }
 
+/// What happens when a scheduled event fires in a *dynamic* run. The
+/// extra ingredients over [`Event`]: a `Mutate` marker that drains the
+/// dynamics stream when it fires, and per-node generation stamps — a
+/// node's generation bumps when it dies, so events queued against an
+/// earlier incarnation (its act chain, an in-flight proposal, a pending
+/// transfer) are lazily discarded when popped instead of surgically
+/// removed from the heap.
+#[derive(Clone, Copy, Debug)]
+enum DynEvent {
+    /// A node's act cycle, valid for one incarnation of the node.
+    Act(NodeId, u64),
+    /// `from`'s proposal arrives at `to`; `gen` stamps `from`'s
+    /// incarnation (a dead proposer's attempt dissolves).
+    Attempt { from: NodeId, to: NodeId, gen: u64 },
+    /// The transfer over a formed connection completes — unless either
+    /// endpoint died (and was severed) in the meantime.
+    Finish {
+        initiator: NodeId,
+        acceptor: NodeId,
+        gen_i: u64,
+        gen_a: u64,
+    },
+    /// Apply every dynamics mutation due at this instant, then re-arm the
+    /// marker at the stream's next event time.
+    Mutate,
+}
+
 /// Heap entry: events fire in `(time, seq)` order. `seq` is a unique,
 /// monotonically increasing tie-breaker, so simultaneous events fire in
 /// scheduling order and the execution is deterministic.
 #[derive(Clone, Copy, Debug)]
-struct Scheduled {
+struct Scheduled<E> {
     time: SimTime,
     seq: u64,
-    event: Event,
+    event: E,
 }
 
-impl PartialEq for Scheduled {
+impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
         self.seq == other.seq
     }
 }
-impl Eq for Scheduled {}
+impl<E> Eq for Scheduled<E> {}
 
-impl Ord for Scheduled {
+impl<E> Ord for Scheduled<E> {
     // Reversed: BinaryHeap is a max-heap, and we want the earliest event.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.time, other.seq).cmp(&(self.time, self.seq))
     }
 }
-impl PartialOrd for Scheduled {
+impl<E> PartialOrd for Scheduled<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -125,9 +154,9 @@ impl Scheduler for AsyncScheduler {
         let mut matcher = IncrementalMatcher::new(n);
         let mut ad_scratch: Vec<Advertisement> = Vec::new();
 
-        let mut heap: BinaryHeap<Scheduled> = BinaryHeap::with_capacity(2 * n);
+        let mut heap: BinaryHeap<Scheduled<Event>> = BinaryHeap::with_capacity(2 * n);
         let mut seq: u64 = 0;
-        let mut push = |heap: &mut BinaryHeap<Scheduled>, time: SimTime, event: Event| {
+        let mut push = |heap: &mut BinaryHeap<Scheduled<Event>>, time: SimTime, event: Event| {
             heap.push(Scheduled {
                 time,
                 seq: {
@@ -229,6 +258,14 @@ impl Scheduler for AsyncScheduler {
                     }
                 }
                 Event::Attempt { from, to } => {
+                    // On a frozen graph a proposal across a non-edge can
+                    // only be a protocol bug; the dynamic path has no such
+                    // assert because there the edge may legitimately have
+                    // vanished in flight.
+                    debug_assert!(
+                        topology.are_neighbors(from, to),
+                        "protocol proposed {from} -> {to} across a non-edge"
+                    );
                     if matcher.try_connect(topology, from, to) {
                         let delay = self.timing.latency(&mut rng);
                         push(
@@ -304,6 +341,311 @@ impl Scheduler for AsyncScheduler {
                 messages_held,
             );
         }
+        result
+    }
+
+    /// The dynamic-topology variant of the event loop. The dynamics
+    /// stream is interleaved *exactly*: a `Mutate` marker rides the event
+    /// heap at the stream's next mutation time, so departures, rejoins,
+    /// fades, and moves fire between act cycles at their true virtual
+    /// times rather than at round boundaries. A departure severs any open
+    /// connection of the dead node (counted in
+    /// [`DynamicsStats::severed_connections`](crate::DynamicsStats));
+    /// its queued events dissolve lazily via generation stamps. An edge
+    /// that fades or moves away while a proposal is in flight simply
+    /// fails the attempt at arrival — only death interrupts an already-
+    /// formed connection.
+    fn run_dynamic(
+        &self,
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult {
+        self.timing
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid timing config: {e}"));
+        let n = topology.num_nodes();
+        let mut rng = Rng::new(seed);
+        let (mut states, mut result) = init_run(topology, protocol, "async", sources, seed, config);
+        let mut dynr = DynRun::new(topology, dynamics, seed, &states);
+        if result.completed {
+            result.dynamics = Some(dynr.finish(SimTime::ZERO));
+            return result;
+        }
+
+        let max_time = (config.max_rounds as u64).saturating_mul(TICKS_PER_ROUND);
+        let drift_factors: Vec<f64> = (0..n).map(|_| self.timing.drift_factor(&mut rng)).collect();
+        let mut ads: Vec<Advertisement> = states.iter().map(|s| protocol.advertise(s, 0)).collect();
+        let mut matcher = IncrementalMatcher::new(n);
+        let mut ad_scratch: Vec<Advertisement> = Vec::new();
+        // A node's incarnation number; death bumps it, orphaning every
+        // event queued against the old incarnation.
+        let mut gens: Vec<u64> = vec![0; n];
+        // While `u` is connected: `(peer, u_initiated_the_connection)`.
+        let mut partner: Vec<Option<(NodeId, bool)>> = vec![None; n];
+
+        let mut heap: BinaryHeap<Scheduled<DynEvent>> = BinaryHeap::with_capacity(2 * n + 1);
+        let mut seq: u64 = 0;
+        let mut push =
+            |heap: &mut BinaryHeap<Scheduled<DynEvent>>, time: SimTime, event: DynEvent| {
+                heap.push(Scheduled {
+                    time,
+                    seq: {
+                        seq += 1;
+                        seq
+                    },
+                    event,
+                });
+            };
+
+        for u in 0..n {
+            let offset = rng.gen_range(TICKS_PER_ROUND as usize) as u64;
+            push(
+                &mut heap,
+                SimTime(offset),
+                DynEvent::Act(NodeId(u as u32), 0),
+            );
+        }
+        // Exactly one Mutate marker rides the heap at a time, parked at
+        // the stream's next mutation time.
+        if let Some(t) = dynr.peek_time() {
+            push(&mut heap, t, DynEvent::Mutate);
+        }
+
+        let mut epochs = EpochAccounting::default();
+        let mut now = SimTime::ZERO;
+        while let Some(ev) = heap.pop() {
+            if ev.time.ticks() > max_time {
+                now = SimTime(max_time);
+                break;
+            }
+            now = ev.time;
+
+            if let Some(history) = &mut result.rounds {
+                let event_row = now.round_equivalent().max(1);
+                epochs.flush_rows_below(
+                    history,
+                    event_row,
+                    dynr.alive_informed,
+                    dynr.alive_messages,
+                );
+            }
+
+            match ev.event {
+                DynEvent::Mutate => {
+                    while dynr.peek_time().is_some_and(|t| t <= now) {
+                        let mutation = dynr.pop().expect("peeked mutation must pop");
+                        if let MutationKind::Depart(u) = mutation.kind {
+                            if dynr.topo.is_alive(u) {
+                                // Disentangle the node before it goes down.
+                                match matcher.state(u) {
+                                    PeerState::Free => {}
+                                    PeerState::Listening | PeerState::Proposing => {
+                                        matcher.cancel(u)
+                                    }
+                                    PeerState::Connected => {
+                                        let (v, u_initiated) = partner[u.index()]
+                                            .expect("connected node has a partner");
+                                        matcher.release(u, v);
+                                        partner[u.index()] = None;
+                                        partner[v.index()] = None;
+                                        dynr.stats.severed_connections += 1;
+                                        if !u_initiated {
+                                            // The survivor initiated: its
+                                            // act chain was parked on the
+                                            // Finish event dying with this
+                                            // connection — restart it.
+                                            let delay = self.timing.refresh_interval(
+                                                drift_factors[v.index()],
+                                                &mut rng,
+                                            );
+                                            push(
+                                                &mut heap,
+                                                now.after(delay),
+                                                DynEvent::Act(v, gens[v.index()]),
+                                            );
+                                        }
+                                    }
+                                }
+                                gens[u.index()] += 1;
+                            }
+                        }
+                        let applied = dynr.apply(&mutation, &mut states, sources);
+                        if applied {
+                            if let MutationKind::Rejoin { node, .. } = mutation.kind {
+                                // The revived node starts a fresh act chain.
+                                let delay = self
+                                    .timing
+                                    .refresh_interval(drift_factors[node.index()], &mut rng);
+                                push(
+                                    &mut heap,
+                                    now.after(delay),
+                                    DynEvent::Act(node, gens[node.index()]),
+                                );
+                            }
+                        }
+                    }
+                    if let Some(t) = dynr.peek_time() {
+                        push(&mut heap, t, DynEvent::Mutate);
+                    }
+                    if dynr.complete() {
+                        result.completed = true;
+                        result.virtual_time_to_completion = Some(now.ticks());
+                        result.rounds_to_completion = Some(now.round_equivalent());
+                        break;
+                    }
+                }
+                DynEvent::Act(u, gen) => {
+                    if gen != gens[u.index()] {
+                        continue; // the node died since this was scheduled
+                    }
+                    let ui = u.index();
+                    match matcher.state(u) {
+                        PeerState::Connected => {
+                            let delay = self.timing.refresh_interval(drift_factors[ui], &mut rng);
+                            push(&mut heap, now.after(delay), DynEvent::Act(u, gen));
+                        }
+                        PeerState::Proposing => {
+                            debug_assert!(false, "act event fired for a proposing node");
+                        }
+                        state => {
+                            if state == PeerState::Listening {
+                                matcher.cancel(u);
+                            }
+                            let epoch = now.epoch();
+                            ads[ui] = protocol.advertise(&states[ui], epoch);
+                            let neighbors = dynr.topo.active_neighbors(u);
+                            ad_scratch.clear();
+                            ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
+                            let ctx = NodeCtx {
+                                id: u,
+                                salt: epoch,
+                                messages: &states[ui],
+                                neighbors,
+                                neighbor_ads: &ad_scratch,
+                            };
+                            match protocol.decide(&ctx, &mut rng) {
+                                Intent::Idle => {
+                                    let delay =
+                                        self.timing.refresh_interval(drift_factors[ui], &mut rng);
+                                    push(&mut heap, now.after(delay), DynEvent::Act(u, gen));
+                                }
+                                Intent::Listen => {
+                                    matcher.listen(u);
+                                    let delay =
+                                        self.timing.refresh_interval(drift_factors[ui], &mut rng);
+                                    push(&mut heap, now.after(delay), DynEvent::Act(u, gen));
+                                }
+                                Intent::Propose(v) => {
+                                    matcher.propose(u);
+                                    let delay = self.timing.latency(&mut rng);
+                                    push(
+                                        &mut heap,
+                                        now.after(delay),
+                                        DynEvent::Attempt {
+                                            from: u,
+                                            to: v,
+                                            gen,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                DynEvent::Attempt { from, to, gen } => {
+                    if gen != gens[from.index()] {
+                        continue; // the proposer died mid-flight
+                    }
+                    // `try_connect` checks the *current* active graph: a
+                    // target that died, an edge that faded, or a peer that
+                    // moved away all fail the attempt naturally.
+                    if matcher.try_connect(&dynr.topo, from, to) {
+                        partner[from.index()] = Some((to, true));
+                        partner[to.index()] = Some((from, false));
+                        let delay = self.timing.latency(&mut rng);
+                        push(
+                            &mut heap,
+                            now.after(delay),
+                            DynEvent::Finish {
+                                initiator: from,
+                                acceptor: to,
+                                gen_i: gens[from.index()],
+                                gen_a: gens[to.index()],
+                            },
+                        );
+                    } else {
+                        matcher.cancel(from);
+                        let delay = self
+                            .timing
+                            .refresh_interval(drift_factors[from.index()], &mut rng);
+                        push(&mut heap, now.after(delay), DynEvent::Act(from, gen));
+                    }
+                }
+                DynEvent::Finish {
+                    initiator,
+                    acceptor,
+                    gen_i,
+                    gen_a,
+                } => {
+                    if gen_i != gens[initiator.index()] || gen_a != gens[acceptor.index()] {
+                        continue; // the connection was severed by a death
+                    }
+                    let (a, b) = ordered_pair(&mut states, initiator.index(), acceptor.index());
+                    let before_a = a.is_full();
+                    let before_b = b.is_full();
+                    let moved = a.union_with(b) + b.union_with(a);
+                    // Both endpoints are alive: a death would have severed.
+                    dynr.alive_informed += (a.is_full() && !before_a) as usize;
+                    dynr.alive_informed += (b.is_full() && !before_b) as usize;
+                    dynr.alive_messages += moved;
+
+                    result.total_connections += 1;
+                    if moved > 0 {
+                        result.productive_connections += 1;
+                        epochs.productive += 1;
+                    } else {
+                        result.wasted_connections += 1;
+                    }
+                    epochs.connections += 1;
+
+                    matcher.release(initiator, acceptor);
+                    partner[initiator.index()] = None;
+                    partner[acceptor.index()] = None;
+                    let delay = self
+                        .timing
+                        .refresh_interval(drift_factors[initiator.index()], &mut rng);
+                    push(&mut heap, now.after(delay), DynEvent::Act(initiator, gen_i));
+                    dynr.record(now);
+
+                    if dynr.complete() {
+                        result.completed = true;
+                        result.virtual_time_to_completion = Some(now.ticks());
+                        result.rounds_to_completion = Some(now.round_equivalent());
+                        break;
+                    }
+                }
+            }
+        }
+
+        result.complete_nodes = dynr.alive_informed;
+        result.virtual_time = now.ticks().min(max_time);
+        result.rounds_executed = SimTime(result.virtual_time)
+            .round_equivalent()
+            .min(config.max_rounds);
+
+        if let Some(history) = &mut result.rounds {
+            epochs.flush_rows_below(
+                history,
+                result.rounds_executed + 1,
+                dynr.alive_informed,
+                dynr.alive_messages,
+            );
+        }
+        result.dynamics = Some(dynr.finish(SimTime(result.virtual_time)));
         result
     }
 }

@@ -19,13 +19,24 @@
 //! `(topology, protocol, sources, seed, config)` tuple always reproduces
 //! the same run, which is what makes regression tests on round counts and
 //! completion times possible.
+//!
+//! Both schedulers also run over **changing networks**: pass a
+//! [`gossip_dynamics::DynamicsModel`] (churn, edge fading, waypoint
+//! mobility) to [`Scheduler::run_dynamic`] and the engine consumes its
+//! deterministic mutation stream — at round boundaries under the
+//! synchronous scheduler, interleaved exactly in the event heap under the
+//! asynchronous one. Completion is then measured over currently-alive
+//! nodes, and [`SimResult::dynamics`] carries the churn-aware metrics
+//! ([`DynamicsStats`]): departures, rejoins, severed connections,
+//! peak/min alive counts, and a [`CoveragePoint`] timeline.
 
+mod dynamic;
 mod event_driven;
 mod metrics;
 mod scheduler;
 
 pub use event_driven::AsyncScheduler;
-pub use metrics::{RoundStats, SimResult};
+pub use metrics::{CoveragePoint, DynamicsStats, RoundStats, SimResult};
 pub use scheduler::{Scheduler, SyncScheduler};
 
 use gossip_core::{NodeId, Rng, Topology};

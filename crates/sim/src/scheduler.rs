@@ -11,11 +11,13 @@
 //! connection resolution. Its behavior is the original `run()` loop,
 //! bit-for-bit; existing round-count regression tests pin this down.
 
+use crate::dynamic::DynRun;
 use crate::metrics::RoundStats;
 use crate::{SimConfig, SimResult};
 
-use gossip_core::time::TICKS_PER_ROUND;
+use gossip_core::time::{SimTime, TICKS_PER_ROUND};
 use gossip_core::{resolve_connections, Advertisement, Intent, MessageSet, NodeId, Rng, Topology};
+use gossip_dynamics::DynamicsModel;
 use gossip_protocols::{GossipProtocol, NodeCtx};
 
 /// An execution model for gossip in the mobile telephone model: drives a
@@ -32,6 +34,22 @@ pub trait Scheduler {
     fn run(
         &self,
         topology: &Topology,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult;
+
+    /// [`run`](Self::run) over a network mutating under `dynamics`: the
+    /// topology starts as `topology` and changes as the model's mutation
+    /// stream fires. Completion is measured over currently-alive nodes,
+    /// and [`SimResult::dynamics`] reports the churn-aware metrics. Both
+    /// schedulers consume the identical stream for a given seed, so
+    /// sync-vs-async comparisons stay apples-to-apples.
+    fn run_dynamic(
+        &self,
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
         protocol: &dyn GossipProtocol,
         sources: &[NodeId],
         seed: u64,
@@ -77,6 +95,7 @@ pub(crate) fn init_run(
         productive_connections: 0,
         wasted_connections: 0,
         complete_nodes,
+        dynamics: None,
         rounds: config.record_rounds.then(|| config.history_vec()),
     };
     (states, result)
@@ -179,6 +198,122 @@ impl Scheduler for SyncScheduler {
         result.virtual_time_to_completion = result
             .rounds_to_completion
             .map(|r| r as u64 * TICKS_PER_ROUND);
+        result
+    }
+
+    /// The dynamic-topology variant of the round loop. Mutations apply at
+    /// round boundaries: before round `r` runs, every pending mutation
+    /// with time in round `r`'s window `[(r-1)·TPR, r·TPR)` takes effect,
+    /// so a departure "during" a round is visible for the whole round —
+    /// the natural discretization of the continuous-time stream the
+    /// asynchronous scheduler interleaves exactly. Within a round the
+    /// graph is frozen, so scan, intent, and matching stay coherent.
+    fn run_dynamic(
+        &self,
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult {
+        let n = topology.num_nodes();
+        let mut rng = Rng::new(seed);
+        let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
+        let mut dynr = DynRun::new(topology, dynamics, seed, &states);
+        if result.completed {
+            result.dynamics = Some(dynr.finish(SimTime::ZERO));
+            return result;
+        }
+
+        let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
+        let mut intents: Vec<Intent> = vec![Intent::Idle; n];
+        let mut ad_scratch: Vec<Advertisement> = Vec::new();
+
+        for round in 1..=config.max_rounds {
+            let horizon = SimTime(round as u64 * TICKS_PER_ROUND);
+            let mutated = dynr.drain_until(horizon, &mut states, sources);
+            if mutated && dynr.complete() {
+                // Mutations alone completed gossip (the last uninformed
+                // node departed, or an informed one rejoined an already-
+                // covered network) — at the boundary closing round r-1.
+                result.completed = true;
+                result.rounds_to_completion = Some(round - 1);
+                break;
+            }
+
+            // Phase 1+2 over alive nodes only: dead nodes neither
+            // advertise nor scan, and active neighbor views exclude them.
+            for u in 0..n {
+                let id = NodeId(u as u32);
+                if dynr.topo.is_alive(id) {
+                    ads[u] = protocol.advertise(&states[u], round as u64);
+                }
+            }
+            for u in 0..n {
+                let id = NodeId(u as u32);
+                if !dynr.topo.is_alive(id) {
+                    intents[u] = Intent::Idle;
+                    continue;
+                }
+                let neighbors = dynr.topo.active_neighbors(id);
+                ad_scratch.clear();
+                ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
+                let ctx = NodeCtx {
+                    id,
+                    salt: round as u64,
+                    messages: &states[u],
+                    neighbors,
+                    neighbor_ads: &ad_scratch,
+                };
+                intents[u] = protocol.decide(&ctx, &mut rng);
+            }
+
+            // Phases 3+4 against the active graph view.
+            let connections = resolve_connections(&dynr.topo, &intents, &mut rng);
+            let mut productive = 0;
+            for c in &connections {
+                let (a, b) = ordered_pair(&mut states, c.initiator.index(), c.acceptor.index());
+                let before_a = a.is_full();
+                let before_b = b.is_full();
+                let moved = a.union_with(b) + b.union_with(a);
+                if moved > 0 {
+                    productive += 1;
+                }
+                // Both endpoints are alive: dead nodes cannot match.
+                dynr.alive_informed += (a.is_full() && !before_a) as usize;
+                dynr.alive_informed += (b.is_full() && !before_b) as usize;
+                dynr.alive_messages += moved;
+            }
+
+            result.rounds_executed = round;
+            result.total_connections += connections.len();
+            result.productive_connections += productive;
+            result.wasted_connections += connections.len() - productive;
+            dynr.record(horizon);
+            if let Some(history) = &mut result.rounds {
+                history.push(RoundStats {
+                    round,
+                    connections: connections.len(),
+                    productive,
+                    complete_nodes: dynr.alive_informed,
+                    messages_held: dynr.alive_messages,
+                });
+            }
+
+            if dynr.complete() {
+                result.completed = true;
+                result.rounds_to_completion = Some(round);
+                break;
+            }
+        }
+
+        result.complete_nodes = dynr.alive_informed;
+        result.virtual_time = result.rounds_executed as u64 * TICKS_PER_ROUND;
+        result.virtual_time_to_completion = result
+            .rounds_to_completion
+            .map(|r| r as u64 * TICKS_PER_ROUND);
+        result.dynamics = Some(dynr.finish(SimTime(result.virtual_time)));
         result
     }
 }
