@@ -14,6 +14,8 @@ use gossip_dynamics::{
 use gossip_protocols::{by_name, PROTOCOL_NAMES};
 use gossip_sim::{random_sources, AsyncScheduler, Scheduler, SimConfig, SimResult, SyncScheduler};
 
+use std::time::Instant;
+
 /// Accepted `--topology` values. `random_geometric` is an alias for `rgg`
 /// so the name echoed in result JSON round-trips back into the CLI.
 pub const TOPOLOGY_NAMES: &[&str] = &[
@@ -38,6 +40,14 @@ pub const USAGE: &str = "gossip-sim: gossip experiments in the mobile telephone 
 
 USAGE:
     gossip-sim [OPTIONS]
+    gossip-sim bench [BENCH OPTIONS]
+
+SUBCOMMANDS:
+    bench    time the synchronous engine for a fixed number of rounds and
+             report throughput (rounds/sec, node-events/sec) plus the
+             deterministic accounting totals as one JSON line; takes
+             --topology, --nodes, --protocol, --messages, --seed,
+             --threads, and --rounds <R> (round budget, default 64)
 
 OPTIONS:
     --topology <line|ring|grid|complete|rgg>   topology family [default: ring]
@@ -54,6 +64,10 @@ OPTIONS:
     --max-rounds <R>                           round cap; the async scheduler reads it
                                                as the equivalent virtual-time cap
                                                [default: 100 + 60*N]
+    --threads <T>                              shard the synchronous round loop over T
+                                               worker threads (results are identical at
+                                               any thread count; capped at the machine's
+                                               available parallelism) [default: 1]
     --drift <F>                                async: max relative clock drift,
                                                0 <= F < 1 [default: 0.1]
     --min-latency <T>                          async: min connect/transfer latency in
@@ -91,6 +105,9 @@ pub struct ExperimentConfig {
     /// Number of consecutive seeds to sweep, starting at `seed`.
     pub seeds: usize,
     pub max_rounds: Option<usize>,
+    /// Worker threads for the synchronous round loop (>= 1; results are
+    /// thread-count-independent by construction).
+    pub threads: usize,
     /// Max relative clock drift (async scheduler only).
     pub drift: f64,
     /// Min connection/transfer latency in ticks (async scheduler only).
@@ -122,6 +139,7 @@ impl Default for ExperimentConfig {
             seed: 1,
             seeds: 1,
             max_rounds: None,
+            threads: 1,
             drift: timing.drift,
             min_latency: timing.min_latency,
             max_latency: timing.max_latency,
@@ -169,18 +187,151 @@ impl ExperimentConfig {
     }
 }
 
-/// Outcome of argument parsing: run an experiment, or print help.
+/// Configuration of one `bench` invocation: time the synchronous engine
+/// over a fixed round budget rather than running to completion, so a
+/// 10^6-node topology benches in seconds even though its gossip would
+/// take hundreds of thousands of rounds to finish.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchConfig {
+    pub topology: String,
+    pub nodes: usize,
+    pub protocol: String,
+    pub messages: usize,
+    pub seed: u64,
+    pub threads: usize,
+    /// Round budget: the engine runs exactly this many rounds (or fewer
+    /// if gossip completes first).
+    pub rounds: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            topology: "ring".to_string(),
+            nodes: 1_000_000,
+            protocol: "advert".to_string(),
+            messages: 1,
+            seed: 1,
+            threads: 1,
+            rounds: 64,
+        }
+    }
+}
+
+/// Outcome of argument parsing: run an experiment, bench the engine, or
+/// print help.
 // One Command exists per process; boxing the config to shrink the enum
 // would be indirection for its own sake.
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     Run(ExperimentConfig),
+    Bench(BenchConfig),
     Help,
+}
+
+/// Parse the arguments of the `bench` subcommand (everything after the
+/// literal `bench`).
+fn parse_bench_args(args: &[String]) -> Result<Command, String> {
+    let mut cfg = BenchConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--topology" => {
+                cfg.topology = value("--topology")?;
+                if !TOPOLOGY_NAMES.contains(&cfg.topology.as_str()) {
+                    return Err(format!(
+                        "unknown topology '{}' (expected one of {})",
+                        cfg.topology,
+                        TOPOLOGY_NAMES.join(", ")
+                    ));
+                }
+            }
+            "--protocol" => {
+                cfg.protocol = value("--protocol")?;
+                if !PROTOCOL_NAMES.contains(&cfg.protocol.as_str()) {
+                    return Err(format!(
+                        "unknown protocol '{}' (expected one of {})",
+                        cfg.protocol,
+                        PROTOCOL_NAMES.join(", ")
+                    ));
+                }
+            }
+            "--nodes" => {
+                cfg.nodes = parse_num(&value("--nodes")?, "--nodes")?;
+                if cfg.nodes == 0 {
+                    return Err("--nodes must be at least 1".to_string());
+                }
+            }
+            "--messages" => {
+                cfg.messages = parse_num(&value("--messages")?, "--messages")?;
+                if cfg.messages == 0 {
+                    return Err("--messages must be at least 1".to_string());
+                }
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                cfg.seed = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: '{raw}' is not a non-negative integer"))?;
+            }
+            "--threads" => cfg.threads = parse_threads(&value("--threads")?)?,
+            "--rounds" => {
+                cfg.rounds = parse_num(&value("--rounds")?, "--rounds")?;
+                if cfg.rounds == 0 {
+                    return Err("--rounds must be at least 1".to_string());
+                }
+            }
+            other => return Err(format!("unknown bench argument '{other}' (try --help)")),
+        }
+    }
+    Ok(Command::Bench(cfg))
+}
+
+/// Parse and validate a `--threads` value: a positive integer (the cap at
+/// available parallelism happens at run time via [`effective_threads`]).
+fn parse_threads(raw: &str) -> Result<usize, String> {
+    let threads = parse_num(raw, "--threads")?;
+    if threads == 0 {
+        return Err(
+            "--threads 0 is meaningless: the round loop needs at least one worker".to_string(),
+        );
+    }
+    Ok(threads)
+}
+
+/// Clamp a requested thread count to the machine's available parallelism.
+/// Returns the effective count and, when clamping occurred, a warning for
+/// the user. Results never depend on the clamp — the engine is
+/// deterministic at any thread count — only throughput does.
+pub fn effective_threads(requested: usize) -> (usize, Option<String>) {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if requested > available {
+        (
+            available,
+            Some(format!(
+                "--threads {requested} exceeds the machine's available parallelism; \
+                 capping at {available} (results are identical, only throughput changes)"
+            )),
+        )
+    } else {
+        (requested, None)
+    }
 }
 
 /// Parse CLI arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    if args.first().map(String::as_str) == Some("bench") {
+        return parse_bench_args(&args[1..]);
+    }
     let mut cfg = ExperimentConfig::default();
     let mut rejoin_given = false;
     let mut it = args.iter();
@@ -250,6 +401,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--max-rounds" => {
                 cfg.max_rounds = Some(parse_num(&value("--max-rounds")?, "--max-rounds")?)
             }
+            "--threads" => cfg.threads = parse_threads(&value("--threads")?)?,
             "--drift" => {
                 let raw = value("--drift")?;
                 cfg.drift = raw
@@ -342,6 +494,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     if cfg.format == "csv" && cfg.history {
         return Err("--history emits nested per-round data, which is JSON-only".to_string());
     }
+    if cfg.threads > 1 && cfg.scheduler == "async" {
+        return Err(
+            "--threads shards the synchronous round loop; the event-driven scheduler \
+             is inherently serial (use --scheduler sync)"
+                .to_string(),
+        );
+    }
     Ok(Command::Run(cfg))
 }
 
@@ -407,10 +566,14 @@ pub fn build_dynamics(
     }
 }
 
-/// Build the scheduler named in the config.
+/// Build the scheduler named in the config. The thread count is clamped
+/// to available parallelism here ([`effective_threads`]); callers wanting
+/// to surface the clamp warning call `effective_threads` themselves.
 pub fn build_scheduler(cfg: &ExperimentConfig) -> Box<dyn Scheduler> {
     match cfg.scheduler.as_str() {
-        "sync" => Box::new(SyncScheduler),
+        "sync" => Box::new(SyncScheduler::with_threads(
+            effective_threads(cfg.threads).0,
+        )),
         "async" => Box::new(AsyncScheduler {
             timing: cfg.timing(),
         }),
@@ -464,6 +627,176 @@ pub fn run_sweep_iter(cfg: &ExperimentConfig) -> impl Iterator<Item = SimResult>
 /// [`run_sweep_iter`], collected.
 pub fn run_sweep(cfg: &ExperimentConfig) -> Vec<SimResult> {
     run_sweep_iter(cfg).collect()
+}
+
+/// Execution-side metadata of one run, reported next to the (seed-
+/// deterministic) [`SimResult`]: the worker-thread count actually used
+/// and the wall-clock time the run took. Kept out of `SimResult` so
+/// result equality stays meaningful for determinism tests — two runs are
+/// "the same run" regardless of how fast the hardware was that day.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Worker threads after the [`effective_threads`] clamp.
+    pub threads: usize,
+    /// Wall-clock duration of the run, in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// [`run_sweep_iter`], with per-run wall-clock timing. This is what the
+/// binary streams: each line carries the deterministic result plus the
+/// `threads`/`wall_ms` execution metadata.
+pub fn run_sweep_timed_iter(
+    cfg: &ExperimentConfig,
+) -> impl Iterator<Item = (SimResult, RunMeta)> + '_ {
+    let threads = effective_threads(cfg.threads).0;
+    (0..cfg.seeds as u64).map(move |offset| {
+        let mut one = cfg.clone();
+        one.seed = cfg.seed.wrapping_add(offset);
+        let started = Instant::now();
+        let result = run_experiment(&one);
+        let meta = RunMeta {
+            threads,
+            wall_ms: started.elapsed().as_millis() as u64,
+        };
+        (result, meta)
+    })
+}
+
+/// What one `bench` invocation measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    pub topology: String,
+    pub nodes: usize,
+    pub protocol: String,
+    pub messages: usize,
+    pub seed: u64,
+    /// Worker threads after the [`effective_threads`] clamp.
+    pub threads: usize,
+    /// The configured round budget.
+    pub round_budget: usize,
+    /// Rounds the engine actually executed (< budget iff gossip
+    /// completed early).
+    pub rounds_executed: usize,
+    pub completed: bool,
+    /// Time to build the topology (excluded from throughput).
+    pub build_ms: u64,
+    /// Wall-clock time of the simulation itself.
+    pub wall_ms: u64,
+    /// Simulated rounds per second of wall time.
+    pub rounds_per_sec: f64,
+    /// `nodes × rounds` per second of wall time — the per-node sweep
+    /// throughput, comparable across topology sizes.
+    pub node_events_per_sec: f64,
+    /// Deterministic accounting totals: any serial-vs-parallel (or
+    /// build-to-build) divergence shows up as a mismatch here.
+    pub total_connections: usize,
+    pub productive_connections: usize,
+    pub complete_nodes: usize,
+}
+
+/// Run one engine benchmark: build the topology (timed separately), run
+/// the synchronous scheduler for the configured round budget, and report
+/// throughput plus the deterministic accounting totals.
+pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
+    let threads = effective_threads(cfg.threads).0;
+    let building = Instant::now();
+    let exp = ExperimentConfig {
+        topology: cfg.topology.clone(),
+        nodes: cfg.nodes,
+        protocol: cfg.protocol.clone(),
+        messages: cfg.messages,
+        seed: cfg.seed,
+        threads,
+        ..ExperimentConfig::default()
+    };
+    let topology = build_topology(&exp);
+    let build_ms = building.elapsed().as_millis() as u64;
+
+    let protocol = by_name(&cfg.protocol).expect("bench parser validated the protocol name");
+    let sources = random_sources(
+        cfg.nodes,
+        cfg.messages,
+        &mut Rng::new(cfg.seed ^ 0x50_0c_e5),
+    );
+    let sim_cfg = SimConfig {
+        max_rounds: cfg.rounds,
+        record_rounds: false,
+    };
+    let scheduler = SyncScheduler::with_threads(threads);
+    let running = Instant::now();
+    let result = scheduler.run(&topology, protocol.as_ref(), &sources, cfg.seed, &sim_cfg);
+    let wall = running.elapsed();
+
+    let secs = wall.as_secs_f64().max(1e-9);
+    BenchReport {
+        topology: result.topology.clone(),
+        nodes: cfg.nodes,
+        protocol: cfg.protocol.clone(),
+        messages: cfg.messages,
+        seed: cfg.seed,
+        threads,
+        round_budget: cfg.rounds,
+        rounds_executed: result.rounds_executed,
+        completed: result.completed,
+        build_ms,
+        wall_ms: wall.as_millis() as u64,
+        rounds_per_sec: result.rounds_executed as f64 / secs,
+        node_events_per_sec: (result.rounds_executed as f64 * cfg.nodes as f64) / secs,
+        total_connections: result.total_connections,
+        productive_connections: result.productive_connections,
+        complete_nodes: result.complete_nodes,
+    }
+}
+
+/// Serialize a bench report as one JSON line, shaped for appending to
+/// `BENCH_*.json` trajectory files.
+pub fn bench_to_json(report: &BenchReport) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    json_str(&mut out, "bench", "sync_round_loop");
+    out.push(',');
+    json_str(&mut out, "topology", &report.topology);
+    out.push(',');
+    json_num(&mut out, "nodes", report.nodes as u64);
+    out.push(',');
+    json_str(&mut out, "protocol", &report.protocol);
+    out.push(',');
+    json_num(&mut out, "messages", report.messages as u64);
+    out.push(',');
+    json_num(&mut out, "seed", report.seed);
+    out.push(',');
+    json_num(&mut out, "threads", report.threads as u64);
+    out.push(',');
+    json_num(&mut out, "round_budget", report.round_budget as u64);
+    out.push(',');
+    json_num(&mut out, "rounds_executed", report.rounds_executed as u64);
+    out.push(',');
+    out.push_str(&format!("\"completed\":{}", report.completed));
+    out.push(',');
+    json_num(&mut out, "build_ms", report.build_ms);
+    out.push(',');
+    json_num(&mut out, "wall_ms", report.wall_ms);
+    out.push(',');
+    out.push_str(&format!(
+        "\"rounds_per_sec\":{:.2},\"node_events_per_sec\":{:.2}",
+        report.rounds_per_sec, report.node_events_per_sec
+    ));
+    out.push(',');
+    json_num(
+        &mut out,
+        "total_connections",
+        report.total_connections as u64,
+    );
+    out.push(',');
+    json_num(
+        &mut out,
+        "productive_connections",
+        report.productive_connections as u64,
+    );
+    out.push(',');
+    json_num(&mut out, "complete_nodes", report.complete_nodes as u64);
+    out.push('}');
+    out
 }
 
 /// Serialize a result as a single JSON object.
@@ -581,6 +914,21 @@ pub fn to_json(result: &SimResult) -> String {
     out
 }
 
+/// [`to_json`], extended with the execution metadata the binary surfaces
+/// on every sweep line: the effective thread count and wall-clock
+/// milliseconds. Kept out of [`to_json`] so byte-for-byte regression
+/// pins on the deterministic result stay timing-independent.
+pub fn to_json_timed(result: &SimResult, meta: &RunMeta) -> String {
+    let mut out = to_json(result);
+    out.pop(); // the closing brace
+    out.push(',');
+    json_num(&mut out, "threads", meta.threads as u64);
+    out.push(',');
+    json_num(&mut out, "wall_ms", meta.wall_ms);
+    out.push('}');
+    out
+}
+
 /// The header row for `--format csv`. The column set is fixed — dynamics
 /// columns are simply empty on static runs — so sweep outputs from
 /// different configs concatenate and load uniformly in plotting tools.
@@ -590,14 +938,14 @@ pub fn csv_header() -> &'static str {
      virtual_time_to_completion,total_connections,productive_connections,\
      wasted_connections,complete_nodes,dynamics_model,departures,rejoins,\
      edge_downs,edge_ups,rewires,severed_connections,peak_alive,min_alive,\
-     final_alive"
+     final_alive,threads,wall_ms"
 }
 
 /// Serialize one result as a CSV row matching [`csv_header`]. Absent
 /// values (an uncompleted run's completion columns, dynamics columns of a
 /// static run) serialize as empty cells. Names are ASCII identifiers, so
 /// no quoting is needed.
-pub fn to_csv_row(result: &SimResult) -> String {
+pub fn to_csv_row(result: &SimResult, meta: &RunMeta) -> String {
     fn opt(v: Option<u64>) -> String {
         v.map(|v| v.to_string()).unwrap_or_default()
     }
@@ -633,6 +981,8 @@ pub fn to_csv_row(result: &SimResult) -> String {
     ] {
         fields.push(opt(value.map(|v| v as u64)));
     }
+    fields.push(meta.threads.to_string());
+    fields.push(meta.wall_ms.to_string());
     fields.join(",")
 }
 
@@ -782,14 +1132,22 @@ mod tests {
         let cfg = parse_run_cfg(&["--nodes", "24", "--seeds", "1"]);
         let result = run_experiment(&cfg);
         let columns = csv_header().split(',').count();
-        let row = to_csv_row(&result);
+        let meta = RunMeta {
+            threads: 1,
+            wall_ms: 3,
+        };
+        let row = to_csv_row(&result, &meta);
         assert_eq!(row.split(',').count(), columns);
         assert!(!row.contains('\n'));
         // Static runs leave every dynamics cell empty.
-        assert!(row.ends_with(",,,,,,,,,"), "static dynamics cells: {row}");
+        // Ten empty dynamics cells, then the threads/wall_ms metadata.
+        assert!(
+            row.ends_with(",,,,,,,,,,1,3"),
+            "static dynamics cells: {row}"
+        );
 
         let cfg = parse_run_cfg(&["--nodes", "24", "--churn-rate", "0.1"]);
-        let row = to_csv_row(&run_experiment(&cfg));
+        let row = to_csv_row(&run_experiment(&cfg), &meta);
         assert_eq!(row.split(',').count(), columns);
         assert!(row.contains(",churn,"), "model cell populated: {row}");
     }
@@ -829,6 +1187,86 @@ mod tests {
     #[test]
     fn help_flag_wins() {
         assert_eq!(parse(&["--nodes", "5", "--help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn threads_flag_parses_and_is_validated() {
+        let cfg = parse_run_cfg(&["--threads", "4"]);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(ExperimentConfig::default().threads, 1);
+        assert!(parse(&["--threads", "0"]).is_err(), "zero workers rejected");
+        assert!(parse(&["--threads", "many"]).is_err());
+        assert!(
+            parse(&["--threads", "2", "--scheduler", "async"]).is_err(),
+            "the event-driven scheduler is serial"
+        );
+        // One worker under async is the serial engine — fine.
+        assert!(parse(&["--threads", "1", "--scheduler", "async"]).is_ok());
+    }
+
+    #[test]
+    fn effective_threads_caps_with_a_warning() {
+        let (one, none) = effective_threads(1);
+        assert_eq!(one, 1);
+        assert!(none.is_none(), "1 thread never needs capping");
+        let (capped, warning) = effective_threads(usize::MAX);
+        assert!(capped >= 1);
+        assert!(warning.is_some(), "absurd requests warn");
+    }
+
+    #[test]
+    fn bench_subcommand_parses() {
+        let cmd = parse(&["bench"]).unwrap();
+        assert_eq!(cmd, Command::Bench(BenchConfig::default()));
+
+        let Command::Bench(cfg) = parse(&[
+            "bench",
+            "--topology",
+            "grid",
+            "--nodes",
+            "5000",
+            "--protocol",
+            "uniform",
+            "--threads",
+            "2",
+            "--rounds",
+            "16",
+            "--seed",
+            "9",
+        ])
+        .unwrap() else {
+            panic!("expected Bench");
+        };
+        assert_eq!(cfg.topology, "grid");
+        assert_eq!(cfg.nodes, 5000);
+        assert_eq!(cfg.protocol, "uniform");
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.rounds, 16);
+        assert_eq!(cfg.seed, 9);
+
+        assert_eq!(parse(&["bench", "--help"]), Ok(Command::Help));
+        assert!(parse(&["bench", "--rounds", "0"]).is_err());
+        assert!(parse(&["bench", "--threads", "0"]).is_err());
+        assert!(parse(&["bench", "--topology", "torus"]).is_err());
+        assert!(
+            parse(&["bench", "--seeds", "4"]).is_err(),
+            "sweep flags do not apply to bench"
+        );
+    }
+
+    #[test]
+    fn timed_json_appends_execution_metadata() {
+        let cfg = parse_run_cfg(&["--nodes", "16"]);
+        let result = run_experiment(&cfg);
+        let meta = RunMeta {
+            threads: 3,
+            wall_ms: 12,
+        };
+        let timed = to_json_timed(&result, &meta);
+        assert!(timed.ends_with(",\"threads\":3,\"wall_ms\":12}"), "{timed}");
+        // The deterministic prefix is exactly the untimed serialization.
+        let untimed = to_json(&result);
+        assert!(timed.starts_with(&untimed[..untimed.len() - 1]));
     }
 
     #[test]

@@ -1,4 +1,7 @@
-use gossip_cli::{csv_header, parse_args, run_sweep_iter, to_csv_row, to_json, Command, USAGE};
+use gossip_cli::{
+    bench_to_json, csv_header, effective_threads, parse_args, run_bench, run_sweep_timed_iter,
+    to_csv_row, to_json_timed, Command, USAGE,
+};
 use std::io::Write;
 
 fn main() {
@@ -8,6 +11,9 @@ fn main() {
             let _ = std::io::stdout().write_all(USAGE.as_bytes());
         }
         Ok(Command::Run(cfg)) => {
+            if let (_, Some(warning)) = effective_threads(cfg.threads) {
+                eprintln!("warning: {warning}");
+            }
             // One line per swept seed (one line total by default),
             // streamed as each run finishes; CSV leads with its header.
             let csv = cfg.format == "csv";
@@ -16,11 +22,11 @@ fn main() {
                 // is a normal way for a consumer to stop reading output.
                 let _ = writeln!(std::io::stdout(), "{}", csv_header());
             }
-            for result in run_sweep_iter(&cfg) {
+            for (result, meta) in run_sweep_timed_iter(&cfg) {
                 let line = if csv {
-                    to_csv_row(&result)
+                    to_csv_row(&result, &meta)
                 } else {
-                    to_json(&result)
+                    to_json_timed(&result, &meta)
                 };
                 let _ = writeln!(std::io::stdout(), "{line}");
                 if !result.completed {
@@ -30,6 +36,13 @@ fn main() {
                     );
                 }
             }
+        }
+        Ok(Command::Bench(cfg)) => {
+            if let (_, Some(warning)) = effective_threads(cfg.threads) {
+                eprintln!("warning: {warning}");
+            }
+            let report = run_bench(&cfg);
+            let _ = writeln!(std::io::stdout(), "{}", bench_to_json(&report));
         }
         Err(message) => {
             eprintln!("error: {message}");

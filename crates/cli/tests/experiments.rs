@@ -2,8 +2,8 @@
 //! parse args, execute the experiment, serialize JSON.
 
 use gossip_cli::{
-    csv_header, parse_args, run_experiment, run_sweep, to_csv_row, to_json, Command,
-    ExperimentConfig,
+    bench_to_json, csv_header, parse_args, run_bench, run_experiment, run_sweep,
+    run_sweep_timed_iter, to_csv_row, to_json, BenchConfig, Command, ExperimentConfig, RunMeta,
 };
 
 fn parse_run(args: &[&str]) -> ExperimentConfig {
@@ -384,6 +384,102 @@ fn fading_and_mobility_run_end_to_end() {
 }
 
 #[test]
+fn threads_flag_does_not_change_results_end_to_end() {
+    // The engine is thread-count deterministic; the CLI path (including
+    // the available-parallelism clamp) must preserve that.
+    for topology in ["ring", "rgg"] {
+        for protocol in ["uniform", "advert"] {
+            let serial = run_experiment(&parse_run(&[
+                "--topology",
+                topology,
+                "--nodes",
+                "80",
+                "--protocol",
+                protocol,
+                "--seed",
+                "7",
+            ]));
+            for threads in ["2", "8"] {
+                let sharded = run_experiment(&parse_run(&[
+                    "--topology",
+                    topology,
+                    "--nodes",
+                    "80",
+                    "--protocol",
+                    protocol,
+                    "--seed",
+                    "7",
+                    "--threads",
+                    threads,
+                ]));
+                assert_eq!(
+                    serial, sharded,
+                    "{protocol} on {topology} diverged at --threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn timed_sweep_surfaces_threads_and_wall_time() {
+    let cfg = parse_run(&["--nodes", "30", "--seeds", "2", "--threads", "1"]);
+    let records: Vec<_> = run_sweep_timed_iter(&cfg).collect();
+    assert_eq!(records.len(), 2);
+    for (result, meta) in &records {
+        assert_eq!(meta.threads, 1);
+        assert!(result.completed);
+    }
+    // The result half matches the untimed sweep exactly.
+    let untimed = run_sweep(&cfg);
+    let timed_results: Vec<_> = records.into_iter().map(|(r, _)| r).collect();
+    assert_eq!(untimed, timed_results);
+}
+
+#[test]
+fn bench_runs_end_to_end_and_reports_throughput() {
+    let cfg = BenchConfig {
+        topology: "ring".to_string(),
+        nodes: 2000,
+        protocol: "advert".to_string(),
+        messages: 1,
+        seed: 5,
+        threads: 1,
+        rounds: 32,
+    };
+    let report = run_bench(&cfg);
+    assert_eq!(report.rounds_executed, 32, "budget-capped, far from done");
+    assert!(!report.completed);
+    assert!(report.rounds_per_sec > 0.0);
+    assert!(report.node_events_per_sec >= report.rounds_per_sec);
+    // The accounting totals are seed-deterministic run to run — this is
+    // the divergence check the CI smoke job performs across thread
+    // counts.
+    let again = run_bench(&cfg);
+    assert_eq!(report.total_connections, again.total_connections);
+    assert_eq!(report.productive_connections, again.productive_connections);
+    assert_eq!(report.complete_nodes, again.complete_nodes);
+
+    let json = bench_to_json(&report);
+    for key in [
+        "\"bench\":\"sync_round_loop\"",
+        "\"topology\":\"ring\"",
+        "\"nodes\":2000",
+        "\"threads\":1",
+        "\"round_budget\":32",
+        "\"rounds_executed\":32",
+        "\"rounds_per_sec\":",
+        "\"node_events_per_sec\":",
+        "\"wall_ms\":",
+        "\"build_ms\":",
+        "\"total_connections\":",
+    ] {
+        assert!(json.contains(key), "bench JSON missing {key}: {json}");
+    }
+    assert!(!json.contains('\n'), "bench output must be line-oriented");
+}
+
+#[test]
 fn csv_sweeps_emit_one_well_formed_row_per_seed() {
     let cfg = parse_run(&[
         "--nodes",
@@ -401,7 +497,13 @@ fn csv_sweeps_emit_one_well_formed_row_per_seed() {
     assert_eq!(results.len(), 4);
     let columns = csv_header().split(',').count();
     for (i, result) in results.iter().enumerate() {
-        let row = to_csv_row(result);
+        let row = to_csv_row(
+            result,
+            &RunMeta {
+                threads: 1,
+                wall_ms: 0,
+            },
+        );
         assert_eq!(row.split(',').count(), columns, "row {i}: {row}");
         assert!(row.starts_with("ring,uniform,sync,30,1,"));
         assert!(row.contains(&format!(",{},", 9 + i as u64)), "seed echoed");

@@ -17,6 +17,20 @@
 //!   a static [`Topology`]; every mutation pays the incremental cost of
 //!   updating the affected lists instead.
 //!
+//! # Memory layout
+//!
+//! Like the static [`Topology`], adjacency lives in **flat slabs**, not
+//! per-node `Vec`s: each node owns a capacity slot in three parallel
+//! arrays — `base` (sorted base neighbors), `faded` (per-base-edge fade
+//! flags, replacing the old `HashSet<(u32, u32)>` probe with a binary
+//! search in the node's own slot), and `active` (the sorted active
+//! sublist). Churn and fading shift entries within a slot; a mobility
+//! rewire that outgrows its slot relocates to the slab tail, and the slab
+//! compacts itself once relocation waste dominates. Everything is index
+//! arithmetic over three contiguous buffers — no hashing, no per-node
+//! allocation on the mutation path, and deterministic iteration order
+//! everywhere.
+//!
 //! Dead nodes read as isolated: their active neighbor list is empty and
 //! they appear in no other node's list, so protocols — which only ever see
 //! neighbor snapshots — naturally ignore them without any scheduler-side
@@ -25,60 +39,55 @@
 use crate::topology::GraphView;
 use crate::{NodeId, Topology};
 
-use std::collections::HashSet;
-
 /// A [`Topology`] plus an alive-node set, a faded-edge overlay, and
-/// incrementally maintained active-neighbor views. See the module docs.
+/// incrementally maintained active-neighbor views, all in flat slab
+/// storage. See the module docs.
 #[derive(Clone, Debug)]
 pub struct DynamicTopology {
     name: String,
-    /// The full adjacency, including edges of dead nodes and faded edges.
-    /// Mobility rewires mutate this; churn and fading do not.
-    base: Vec<Vec<NodeId>>,
-    /// The adjacency actually visible to protocols: both endpoints alive
-    /// and the edge not faded. Sorted, maintained incrementally.
-    active: Vec<Vec<NodeId>>,
+    /// Slot start of node `u` in the slabs.
+    start: Vec<u32>,
+    /// Slot capacity of node `u`.
+    cap: Vec<u32>,
+    /// Base neighbors used in `u`'s slot (sorted prefix).
+    base_len: Vec<u32>,
+    /// Active neighbors used in `u`'s slot (sorted prefix).
+    active_len: Vec<u32>,
+    /// Slab of base adjacency, including edges of dead nodes and faded
+    /// edges. Mobility rewires mutate this; churn and fading do not.
+    base: Vec<NodeId>,
+    /// Parallel to `base`: is this base edge currently faded out?
+    /// (Maintained symmetrically on both endpoints' slots.)
+    faded: Vec<bool>,
+    /// Slab of the adjacency actually visible to protocols: both
+    /// endpoints alive and the edge not faded.
+    active: Vec<NodeId>,
     alive: Vec<bool>,
     alive_count: usize,
-    /// Currently faded base edges, normalized to `(min, max)`. Never
-    /// iterated (ordering would be nondeterministic) — membership only.
-    faded: HashSet<(u32, u32)>,
-}
-
-fn norm(u: NodeId, v: NodeId) -> (u32, u32) {
-    if u.0 <= v.0 {
-        (u.0, v.0)
-    } else {
-        (v.0, u.0)
-    }
-}
-
-fn insert_sorted(list: &mut Vec<NodeId>, v: NodeId) {
-    if let Err(i) = list.binary_search(&v) {
-        list.insert(i, v);
-    }
-}
-
-fn remove_sorted(list: &mut Vec<NodeId>, v: NodeId) {
-    if let Ok(i) = list.binary_search(&v) {
-        list.remove(i);
-    }
+    /// Slab capacity stranded by slot relocations, pending compaction.
+    waste: usize,
 }
 
 impl DynamicTopology {
     /// Start from a static topology: everyone alive, every edge active.
     pub fn new(topology: &Topology) -> Self {
         let n = topology.num_nodes();
-        let base: Vec<Vec<NodeId>> = (0..n)
-            .map(|u| topology.neighbors(NodeId(u as u32)).to_vec())
+        let start: Vec<u32> = topology.offsets[..n].to_vec();
+        let degrees: Vec<u32> = (0..n)
+            .map(|u| topology.offsets[u + 1] - topology.offsets[u])
             .collect();
         DynamicTopology {
             name: topology.name().to_string(),
-            active: base.clone(),
-            base,
+            start,
+            cap: degrees.clone(),
+            base_len: degrees.clone(),
+            active_len: degrees,
+            base: topology.edges.clone(),
+            faded: vec![false; topology.edges.len()],
+            active: topology.edges.clone(),
             alive: vec![true; n],
             alive_count: n,
-            faded: HashSet::new(),
+            waste: 0,
         }
     }
 
@@ -98,6 +107,14 @@ impl DynamicTopology {
         self.alive[node.index()]
     }
 
+    /// The full alive mask, indexed by node id — what a sharded round
+    /// loop hands its workers so they can skip dead nodes without
+    /// touching the topology.
+    #[inline]
+    pub fn alive_mask(&self) -> &[bool] {
+        &self.alive
+    }
+
     /// How many nodes are currently alive.
     #[inline]
     pub fn alive_count(&self) -> usize {
@@ -106,13 +123,144 @@ impl DynamicTopology {
 
     /// Sorted neighbors of `node` that are alive and reachable over a
     /// non-faded edge. Empty for a dead node.
+    #[inline]
     pub fn active_neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.active[node.index()]
+        let u = node.index();
+        let s = self.start[u] as usize;
+        &self.active[s..s + self.active_len[u] as usize]
     }
 
     /// Number of currently active undirected edges.
     pub fn active_edge_count(&self) -> usize {
-        self.active.iter().map(Vec::len).sum::<usize>() / 2
+        self.active_len.iter().map(|&l| l as usize).sum::<usize>() / 2
+    }
+
+    fn base_slice(&self, u: usize) -> &[NodeId] {
+        let s = self.start[u] as usize;
+        &self.base[s..s + self.base_len[u] as usize]
+    }
+
+    /// Absolute slab index of base edge `u — v`, if present.
+    fn base_pos(&self, u: usize, v: NodeId) -> Option<usize> {
+        self.base_slice(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.start[u] as usize + i)
+    }
+
+    /// Insert `v` into `u`'s sorted active prefix. No-op if present.
+    fn active_insert(&mut self, u: usize, v: NodeId) {
+        let s = self.start[u] as usize;
+        let len = self.active_len[u] as usize;
+        if let Err(i) = self.active[s..s + len].binary_search(&v) {
+            debug_assert!(len < self.cap[u] as usize, "active exceeds slot");
+            self.active.copy_within(s + i..s + len, s + i + 1);
+            self.active[s + i] = v;
+            self.active_len[u] += 1;
+        }
+    }
+
+    /// Remove `v` from `u`'s sorted active prefix. No-op if absent.
+    fn active_remove(&mut self, u: usize, v: NodeId) {
+        let s = self.start[u] as usize;
+        let len = self.active_len[u] as usize;
+        if let Ok(i) = self.active[s..s + len].binary_search(&v) {
+            self.active.copy_within(s + i + 1..s + len, s + i);
+            self.active_len[u] -= 1;
+        }
+    }
+
+    /// Insert `v` (un-faded) into `u`'s sorted base prefix, growing the
+    /// slot if full. No-op if present.
+    fn base_insert(&mut self, u: usize, v: NodeId) {
+        if self.base_len[u] == self.cap[u] {
+            self.grow_slot(u, self.base_len[u] as usize + 1);
+        }
+        let s = self.start[u] as usize;
+        let len = self.base_len[u] as usize;
+        if let Err(i) = self.base[s..s + len].binary_search(&v) {
+            self.base.copy_within(s + i..s + len, s + i + 1);
+            self.faded.copy_within(s + i..s + len, s + i + 1);
+            self.base[s + i] = v;
+            self.faded[s + i] = false;
+            self.base_len[u] += 1;
+        }
+    }
+
+    /// Remove `v` from `u`'s sorted base prefix (and its fade flag).
+    /// No-op if absent.
+    fn base_remove(&mut self, u: usize, v: NodeId) {
+        let s = self.start[u] as usize;
+        let len = self.base_len[u] as usize;
+        if let Ok(i) = self.base[s..s + len].binary_search(&v) {
+            self.base.copy_within(s + i + 1..s + len, s + i);
+            self.faded.copy_within(s + i + 1..s + len, s + i);
+            self.base_len[u] -= 1;
+        }
+    }
+
+    /// Relocate `u`'s slot to the slab tail with capacity at least
+    /// `need`, stranding the old capacity until the next compaction.
+    fn grow_slot(&mut self, u: usize, need: usize) {
+        let new_cap = need + need / 2 + 2;
+        let old_s = self.start[u] as usize;
+        let blen = self.base_len[u] as usize;
+        let alen = self.active_len[u] as usize;
+        let new_s = self.base.len();
+        assert!(
+            new_s + new_cap < u32::MAX as usize,
+            "dynamic adjacency slab overflows u32 offsets"
+        );
+        self.base.resize(new_s + new_cap, NodeId(0));
+        self.faded.resize(new_s + new_cap, false);
+        self.active.resize(new_s + new_cap, NodeId(0));
+        self.base.copy_within(old_s..old_s + blen, new_s);
+        self.faded.copy_within(old_s..old_s + blen, new_s);
+        self.active.copy_within(old_s..old_s + alen, new_s);
+        self.waste += self.cap[u] as usize;
+        self.start[u] = new_s as u32;
+        self.cap[u] = new_cap as u32;
+    }
+
+    /// Rebuild the slabs compactly once relocation waste dominates the
+    /// live data, leaving a little per-slot slack so the next few inserts
+    /// do not immediately relocate again.
+    fn maybe_compact(&mut self) {
+        // Slot caps already exclude stranded slots (grow_slot swaps the
+        // cap out as it adds the old one to waste), so their sum is the
+        // live slab footprint.
+        let live: usize = self.cap.iter().map(|&c| c as usize).sum();
+        if self.waste < 256 || self.waste < live {
+            return;
+        }
+        let n = self.num_nodes();
+        let mut new_start = Vec::with_capacity(n);
+        let mut new_cap = Vec::with_capacity(n);
+        let mut total = 0usize;
+        for u in 0..n {
+            let blen = self.base_len[u] as usize;
+            let cap = blen + blen / 4 + 2;
+            new_start.push(total as u32);
+            new_cap.push(cap as u32);
+            total += cap;
+        }
+        let mut base = vec![NodeId(0); total];
+        let mut faded = vec![false; total];
+        let mut active = vec![NodeId(0); total];
+        for (u, &ns) in new_start.iter().enumerate() {
+            let (os, ns) = (self.start[u] as usize, ns as usize);
+            let blen = self.base_len[u] as usize;
+            let alen = self.active_len[u] as usize;
+            base[ns..ns + blen].copy_from_slice(&self.base[os..os + blen]);
+            faded[ns..ns + blen].copy_from_slice(&self.faded[os..os + blen]);
+            active[ns..ns + alen].copy_from_slice(&self.active[os..os + alen]);
+        }
+        self.start = new_start;
+        self.cap = new_cap;
+        self.base = base;
+        self.faded = faded;
+        self.active = active;
+        self.waste = 0;
     }
 
     /// Take `node` down. Its active neighbor list empties and it vanishes
@@ -124,10 +272,13 @@ impl DynamicTopology {
         }
         self.alive[ui] = false;
         self.alive_count -= 1;
-        let mine = std::mem::take(&mut self.active[ui]);
-        for v in &mine {
-            remove_sorted(&mut self.active[v.index()], node);
+        // Peers' removals shift only *their* slots, never ours, so an
+        // index walk over our (untouched) active prefix is safe.
+        for k in 0..self.active_len[ui] as usize {
+            let v = self.active[self.start[ui] as usize + k];
+            self.active_remove(v.index(), node);
         }
+        self.active_len[ui] = 0;
         true
     }
 
@@ -141,39 +292,58 @@ impl DynamicTopology {
         }
         self.alive[ui] = true;
         self.alive_count += 1;
-        let mut mine = Vec::with_capacity(self.base[ui].len());
-        for i in 0..self.base[ui].len() {
-            let v = self.base[ui][i];
-            if self.alive[v.index()] && !self.faded.contains(&norm(node, v)) {
-                mine.push(v);
-                insert_sorted(&mut self.active[v.index()], node);
+        let s = self.start[ui] as usize;
+        let mut alen = 0usize;
+        for k in 0..self.base_len[ui] as usize {
+            let v = self.base[s + k];
+            if self.alive[v.index()] && !self.faded[s + k] {
+                // base is sorted, so the filtered active prefix is too.
+                self.active[s + alen] = v;
+                alen += 1;
+                self.active_insert(v.index(), node);
             }
         }
-        self.active[ui] = mine; // base is sorted, so the filtered list is too
+        self.active_len[ui] = alen as u32;
         true
     }
 
     /// Fade the base edge `u — v` out (interference). Returns false if the
     /// edge does not exist in the base graph or is already faded.
     pub fn fade_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        if self.base[u.index()].binary_search(&v).is_err() || !self.faded.insert(norm(u, v)) {
+        let Some(iu) = self.base_pos(u.index(), v) else {
+            return false;
+        };
+        if self.faded[iu] {
             return false;
         }
+        let iv = self
+            .base_pos(v.index(), u)
+            .expect("base adjacency must be symmetric");
+        self.faded[iu] = true;
+        self.faded[iv] = true;
         if self.alive[u.index()] && self.alive[v.index()] {
-            remove_sorted(&mut self.active[u.index()], v);
-            remove_sorted(&mut self.active[v.index()], u);
+            self.active_remove(u.index(), v);
+            self.active_remove(v.index(), u);
         }
         true
     }
 
     /// Restore a previously faded edge. Returns false if it was not faded.
     pub fn restore_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        if !self.faded.remove(&norm(u, v)) {
+        let Some(iu) = self.base_pos(u.index(), v) else {
+            return false;
+        };
+        if !self.faded[iu] {
             return false;
         }
+        let iv = self
+            .base_pos(v.index(), u)
+            .expect("base adjacency must be symmetric");
+        self.faded[iu] = false;
+        self.faded[iv] = false;
         if self.alive[u.index()] && self.alive[v.index()] {
-            insert_sorted(&mut self.active[u.index()], v);
-            insert_sorted(&mut self.active[v.index()], u);
+            self.active_insert(u.index(), v);
+            self.active_insert(v.index(), u);
         }
         true
     }
@@ -185,13 +355,15 @@ impl DynamicTopology {
     /// nodes too — the new edges activate when the node revives.
     pub fn rewire(&mut self, node: NodeId, new_neighbors: &[NodeId]) {
         let ui = node.index();
-        let old = std::mem::take(&mut self.base[ui]);
-        for &v in &old {
-            remove_sorted(&mut self.base[v.index()], node);
-            remove_sorted(&mut self.active[v.index()], node);
-            self.faded.remove(&norm(node, v));
+        // Detach from the old neighborhood (their slots shift; ours is
+        // only read).
+        for k in 0..self.base_len[ui] as usize {
+            let v = self.base[self.start[ui] as usize + k];
+            self.base_remove(v.index(), node);
+            self.active_remove(v.index(), node);
         }
-        self.active[ui].clear();
+        self.base_len[ui] = 0;
+        self.active_len[ui] = 0;
 
         let mut fresh: Vec<NodeId> = new_neighbors
             .iter()
@@ -200,14 +372,30 @@ impl DynamicTopology {
             .collect();
         fresh.sort_unstable();
         fresh.dedup();
+        if fresh.len() > self.cap[ui] as usize {
+            self.grow_slot(ui, fresh.len());
+        }
+        let s = self.start[ui] as usize;
+        for (k, &v) in fresh.iter().enumerate() {
+            self.base[s + k] = v;
+            self.faded[s + k] = false;
+        }
+        self.base_len[ui] = fresh.len() as u32;
+
+        let mut alen = 0usize;
         for &v in &fresh {
-            insert_sorted(&mut self.base[v.index()], node);
+            self.base_insert(v.index(), node);
             if self.alive[ui] && self.alive[v.index()] {
-                insert_sorted(&mut self.active[v.index()], node);
-                self.active[ui].push(v); // fresh is sorted: push keeps order
+                // Our slot cannot relocate here (only v's can), and fresh
+                // is sorted, so pushing keeps the active prefix ordered.
+                let s = self.start[ui] as usize;
+                self.active[s + alen] = v;
+                alen += 1;
+                self.active_insert(v.index(), node);
             }
         }
-        self.base[ui] = fresh;
+        self.active_len[ui] = alen as u32;
+        self.maybe_compact();
     }
 }
 
@@ -339,5 +527,85 @@ mod tests {
         dt.rewire(NodeId(0), &[]);
         dt.rewire(NodeId(0), &ids(&[1]));
         assert!(dt.are_neighbors(NodeId(0), NodeId(1)));
+    }
+
+    /// Brute-force model check: after an arbitrary deterministic mutation
+    /// storm, every active view must equal "base neighbors that are
+    /// mutually alive over a non-faded edge", and slot relocations plus
+    /// compaction must never corrupt a slab.
+    #[test]
+    fn slab_survives_a_mutation_storm() {
+        use crate::Rng;
+        let n = 24usize;
+        let topo = Topology::grid(n);
+        let mut dt = DynamicTopology::new(&topo);
+        // Reference model: simple sets.
+        let mut base: Vec<std::collections::BTreeSet<u32>> = (0..n)
+            .map(|u| {
+                topo.neighbors(NodeId(u as u32))
+                    .iter()
+                    .map(|v| v.0)
+                    .collect()
+            })
+            .collect();
+        let mut faded: std::collections::BTreeSet<(u32, u32)> = Default::default();
+        let mut alive = vec![true; n];
+        let norm = |a: u32, b: u32| if a < b { (a, b) } else { (b, a) };
+
+        let mut rng = Rng::new(2024);
+        for _ in 0..3000 {
+            let u = rng.gen_range(n) as u32;
+            let v = rng.gen_range(n) as u32;
+            match rng.gen_range(5) {
+                0 => {
+                    dt.kill(NodeId(u));
+                    alive[u as usize] = false;
+                }
+                1 => {
+                    dt.revive(NodeId(u));
+                    alive[u as usize] = true;
+                }
+                2 => {
+                    if dt.fade_edge(NodeId(u), NodeId(v)) {
+                        faded.insert(norm(u, v));
+                    }
+                }
+                3 => {
+                    if dt.restore_edge(NodeId(u), NodeId(v)) {
+                        faded.remove(&norm(u, v));
+                    }
+                }
+                _ => {
+                    let deg = 1 + rng.gen_range(6);
+                    let fresh: Vec<NodeId> =
+                        (0..deg).map(|_| NodeId(rng.gen_range(n) as u32)).collect();
+                    dt.rewire(NodeId(u), &fresh);
+                    for &w in &base[u as usize].clone() {
+                        base[w as usize].remove(&u);
+                        faded.remove(&norm(u, w));
+                    }
+                    base[u as usize].clear();
+                    for f in fresh {
+                        if f.0 != u {
+                            base[u as usize].insert(f.0);
+                            base[f.index()].insert(u);
+                        }
+                    }
+                }
+            }
+            // Spot-check a few nodes every step, all nodes occasionally.
+            for w in 0..n as u32 {
+                let expect: Vec<NodeId> = if !alive[w as usize] {
+                    Vec::new()
+                } else {
+                    base[w as usize]
+                        .iter()
+                        .filter(|&&x| alive[x as usize] && !faded.contains(&norm(w, x)))
+                        .map(|&x| NodeId(x))
+                        .collect()
+                };
+                assert_eq!(dt.active_neighbors(NodeId(w)), expect, "node {w}");
+            }
+        }
     }
 }

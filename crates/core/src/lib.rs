@@ -24,7 +24,9 @@
 //!   alive-node set, faded-edge overlay, wholesale rewiring, and
 //!   incrementally maintained active-neighbor views,
 //! - [`Advertisement`]: the per-round tag a node broadcasts,
-//! - [`MessageSet`]: the gossip state (which rumors a node holds),
+//! - [`MessageSet`] / [`MessageMatrix`]: the gossip state (which rumors a
+//!   node holds) — standalone bitsets, and the engine's struct-of-arrays
+//!   packing of all nodes' state, both read through [`MsgView`],
 //! - [`Intent`] / [`resolve_connections`]: connection proposals and the
 //!   batch matching resolver enforcing the one-connection-per-node
 //!   invariant, plus [`IncrementalMatcher`], the event-at-a-time
@@ -42,7 +44,7 @@ pub mod topology;
 
 pub use dynamic::DynamicTopology;
 pub use matching::{resolve_connections, Connection, IncrementalMatcher, Intent, PeerState};
-pub use message::MessageSet;
+pub use message::{MessageMatrix, MessageSet, MsgView};
 pub use rng::Rng;
 pub use time::{SimTime, TimingConfig, TICKS_PER_ROUND};
 pub use topology::{GraphView, RggGeometry, Topology};

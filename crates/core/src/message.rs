@@ -1,10 +1,93 @@
 //! Gossip state: the set of rumors a node currently holds.
 //!
 //! The gossip problem starts `k` messages (rumors) at designated sources and
-//! completes when every node holds all `k`. A [`MessageSet`] is a fixed-
-//! universe bitset over message ids `0..k` with the operations the engine
-//! and protocols need: insert, union (the push-pull transfer), completeness,
-//! and a 64-bit fingerprint suitable for an advertisement tag.
+//! completes when every node holds all `k`. Two owners of that state exist:
+//!
+//! - [`MessageSet`] — a standalone fixed-universe bitset, convenient for
+//!   tests and incremental construction;
+//! - [`MessageMatrix`] — the engine's **struct-of-arrays** form: all `n`
+//!   nodes' bitset words packed into one flat `Vec<u64>` (plus one flat
+//!   counts array), so a round sweep touches two contiguous buffers
+//!   instead of chasing `n` per-node heap allocations.
+//!
+//! Both expose their per-node state as a borrowed [`MsgView`], which is
+//! what protocols consume — a protocol cannot tell (and must not care)
+//! which storage backs the node it is deciding for.
+
+use crate::rng::mix;
+
+fn fingerprint_words(words: &[u64], universe: usize, salt: u64) -> u64 {
+    if universe <= 64 {
+        return words.first().copied().unwrap_or(0);
+    }
+    let mut h = salt ^ (universe as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &w in words {
+        h = mix(h ^ w);
+    }
+    h
+}
+
+/// A borrowed, read-only view of one node's message set — the shape
+/// protocols see, regardless of whether a [`MessageSet`] or a row of the
+/// engine's [`MessageMatrix`] backs it.
+#[derive(Clone, Copy, Debug)]
+pub struct MsgView<'a> {
+    words: &'a [u64],
+    universe: usize,
+    count: usize,
+}
+
+impl MsgView<'_> {
+    /// Size of the message universe (the `k` of k-gossip).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of messages currently held.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True once every message in the universe is held.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.count == self.universe
+    }
+
+    /// Does this set contain message `id`?
+    pub fn contains(&self, id: usize) -> bool {
+        id < self.universe && self.words[id / 64] & (1 << (id % 64)) != 0
+    }
+
+    /// A 64-bit summary suitable for an advertisement tag.
+    ///
+    /// For universes of at most 64 messages this is the exact membership
+    /// mask, so two fingerprints are equal iff the sets are equal and
+    /// bitwise comparisons recover exact set differences. Larger universes
+    /// hash down to 64 bits; equality then only implies set equality with
+    /// high probability, which is the regime the paper's small-tag (`b`-bit
+    /// advertisement) analysis targets.
+    ///
+    /// Equivalent to [`fingerprint_salted`](Self::fingerprint_salted) with
+    /// salt 0.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_words(self.words, self.universe, 0)
+    }
+
+    /// [`fingerprint`](Self::fingerprint) mixed with a caller-chosen salt.
+    ///
+    /// For universes of at most 64 messages the salt is ignored and the
+    /// exact membership mask is returned. Beyond that, the salt is mixed
+    /// into the hash — protocols salt tags with the round number so that a
+    /// hash collision between two *different* sets cannot persist: the
+    /// colliding pair re-hashes differently next round, which is what rules
+    /// out advertisement-guided livelock on large universes.
+    pub fn fingerprint_salted(&self, salt: u64) -> u64 {
+        fingerprint_words(self.words, self.universe, salt)
+    }
+}
 
 /// A set of message ids drawn from a fixed universe `0..universe`.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -21,6 +104,16 @@ impl MessageSet {
             words: vec![0; universe.div_ceil(64)],
             universe,
             count: 0,
+        }
+    }
+
+    /// A borrowed view of this set, as handed to protocols.
+    #[inline]
+    pub fn view(&self) -> MsgView<'_> {
+        MsgView {
+            words: &self.words,
+            universe: self.universe,
+            count: self.count,
         }
     }
 
@@ -53,7 +146,7 @@ impl MessageSet {
 
     /// Does this set contain message `id`?
     pub fn contains(&self, id: usize) -> bool {
-        id < self.universe && self.words[id / 64] & (1 << (id % 64)) != 0
+        self.view().contains(id)
     }
 
     /// Union `other` into `self` (one direction of a push-pull transfer).
@@ -70,41 +163,131 @@ impl MessageSet {
         self.count - before
     }
 
-    /// A 64-bit summary suitable for an advertisement tag.
-    ///
-    /// For universes of at most 64 messages this is the exact membership
-    /// mask, so two fingerprints are equal iff the sets are equal and
-    /// bitwise comparisons recover exact set differences. Larger universes
-    /// hash down to 64 bits; equality then only implies set equality with
-    /// high probability, which is the regime the paper's small-tag (`b`-bit
-    /// advertisement) analysis targets.
-    ///
-    /// Equivalent to [`fingerprint_salted`](Self::fingerprint_salted) with
-    /// salt 0.
+    /// See [`MsgView::fingerprint`].
     pub fn fingerprint(&self) -> u64 {
-        self.fingerprint_salted(0)
+        self.view().fingerprint()
     }
 
-    /// [`fingerprint`](Self::fingerprint) mixed with a caller-chosen salt.
-    ///
-    /// For universes of at most 64 messages the salt is ignored and the
-    /// exact membership mask is returned. Beyond that, the salt is mixed
-    /// into the hash — protocols salt tags with the round number so that a
-    /// hash collision between two *different* sets cannot persist: the
-    /// colliding pair re-hashes differently next round, which is what rules
-    /// out advertisement-guided livelock on large universes.
+    /// See [`MsgView::fingerprint_salted`].
     pub fn fingerprint_salted(&self, salt: u64) -> u64 {
-        if self.universe <= 64 {
-            return self.words.first().copied().unwrap_or(0);
+        self.view().fingerprint_salted(salt)
+    }
+}
+
+/// All `n` nodes' message sets in struct-of-arrays layout: one flat words
+/// buffer (`stride` words per node) and one flat counts array, owned by
+/// the engine rather than scattered across per-node heap objects. This is
+/// the layout the sharded round loop reads concurrently — a `view` of any
+/// row is just slice arithmetic — while transfers mutate pairs of rows in
+/// place.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MessageMatrix {
+    words: Vec<u64>,
+    counts: Vec<u32>,
+    universe: usize,
+    stride: usize,
+}
+
+impl MessageMatrix {
+    /// `n` empty sets over message ids `0..universe`.
+    pub fn new(n: usize, universe: usize) -> Self {
+        let stride = universe.div_ceil(64);
+        MessageMatrix {
+            words: vec![0; n * stride],
+            counts: vec![0; n],
+            universe,
+            stride,
         }
-        let mut h = salt ^ (self.universe as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        for &w in &self.words {
-            h ^= w;
-            h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-            h ^= h >> 31;
+    }
+
+    /// Number of per-node rows.
+    pub fn num_nodes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Size of the message universe (the `k` of k-gossip).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// A borrowed view of node `u`'s set, as handed to protocols.
+    #[inline]
+    pub fn view(&self, u: usize) -> MsgView<'_> {
+        MsgView {
+            words: &self.words[u * self.stride..(u + 1) * self.stride],
+            universe: self.universe,
+            count: self.counts[u] as usize,
         }
-        h
+    }
+
+    /// Number of messages node `u` holds.
+    #[inline]
+    pub fn count(&self, u: usize) -> usize {
+        self.counts[u] as usize
+    }
+
+    /// Does node `u` hold every message?
+    #[inline]
+    pub fn is_full(&self, u: usize) -> bool {
+        self.counts[u] as usize == self.universe
+    }
+
+    /// Does node `u` hold message `id`?
+    pub fn contains(&self, u: usize, id: usize) -> bool {
+        self.view(u).contains(id)
+    }
+
+    /// Insert message `id` into node `u`'s set; true if newly added.
+    pub fn insert(&mut self, u: usize, id: usize) -> bool {
+        assert!(id < self.universe, "message id {id} out of universe");
+        let w = u * self.stride + id / 64;
+        let bit = 1u64 << (id % 64);
+        let fresh = self.words[w] & bit == 0;
+        if fresh {
+            self.words[w] |= bit;
+            self.counts[u] += 1;
+        }
+        fresh
+    }
+
+    /// Clear node `u`'s set (a rejoining device that lost its storage).
+    pub fn reset(&mut self, u: usize) {
+        self.words[u * self.stride..(u + 1) * self.stride].fill(0);
+        self.counts[u] = 0;
+    }
+
+    /// The push-pull transfer over a connection: both rows become their
+    /// union. Returns the total number of messages that moved (in both
+    /// directions together).
+    pub fn union_pair(&mut self, i: usize, j: usize) -> usize {
+        assert_ne!(i, j, "a connection cannot join a node to itself");
+        let stride = self.stride;
+        let (lo, hi) = (i.min(j), i.max(j));
+        let (head, tail) = self.words.split_at_mut(hi * stride);
+        let a = &mut head[lo * stride..lo * stride + stride];
+        let b = &mut tail[..stride];
+        let mut count = 0u32;
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            let u = *x | *y;
+            *x = u;
+            *y = u;
+            count += u.count_ones();
+        }
+        let moved = (count - self.counts[lo]) + (count - self.counts[hi]);
+        self.counts[lo] = count;
+        self.counts[hi] = count;
+        moved as usize
+    }
+
+    /// How many nodes hold the full universe.
+    pub fn full_count(&self) -> usize {
+        let k = self.universe as u32;
+        self.counts.iter().filter(|&&c| c == k).count()
+    }
+
+    /// Total messages held across all nodes.
+    pub fn total_messages(&self) -> usize {
+        self.counts.iter().map(|&c| c as usize).sum()
     }
 }
 
@@ -182,5 +365,64 @@ mod tests {
         small.insert(3);
         assert_eq!(small.fingerprint_salted(1), small.fingerprint_salted(2));
         assert_eq!(small.fingerprint_salted(7), small.fingerprint());
+    }
+
+    #[test]
+    fn matrix_rows_behave_like_independent_sets() {
+        let mut m = MessageMatrix::new(3, 130);
+        assert!(m.insert(0, 0));
+        assert!(m.insert(0, 100));
+        assert!(!m.insert(0, 100), "double insert is not fresh");
+        assert!(m.insert(2, 129));
+        assert_eq!(m.count(0), 2);
+        assert_eq!(m.count(1), 0);
+        assert!(m.contains(0, 100));
+        assert!(!m.contains(1, 100), "rows must not bleed into each other");
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.full_count(), 0);
+    }
+
+    #[test]
+    fn matrix_union_pair_is_push_pull() {
+        let mut m = MessageMatrix::new(2, 130);
+        m.insert(0, 0);
+        m.insert(0, 100);
+        m.insert(1, 100);
+        m.insert(1, 129);
+        // 0 gains 129, 1 gains 0: two messages moved in total.
+        assert_eq!(m.union_pair(0, 1), 2);
+        assert_eq!(m.count(0), 3);
+        assert_eq!(m.count(1), 3);
+        assert_eq!(m.union_pair(1, 0), 0, "re-union moves nothing");
+    }
+
+    #[test]
+    fn matrix_views_match_equivalent_message_sets() {
+        let mut m = MessageMatrix::new(2, 80);
+        let mut s = MessageSet::new(80);
+        for id in [3usize, 64, 79] {
+            m.insert(1, id);
+            s.insert(id);
+        }
+        let v = m.view(1);
+        assert_eq!(v.count(), s.count());
+        assert_eq!(v.universe(), s.universe());
+        assert_eq!(v.fingerprint(), s.fingerprint());
+        assert_eq!(v.fingerprint_salted(9), s.fingerprint_salted(9));
+        assert!(v.contains(64) && !v.contains(4));
+    }
+
+    #[test]
+    fn matrix_reset_clears_one_row_only() {
+        let mut m = MessageMatrix::new(2, 4);
+        for id in 0..4 {
+            m.insert(0, id);
+            m.insert(1, id);
+        }
+        assert_eq!(m.full_count(), 2);
+        m.reset(0);
+        assert_eq!(m.count(0), 0);
+        assert!(m.is_full(1));
+        assert_eq!(m.full_count(), 1);
     }
 }

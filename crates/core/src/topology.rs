@@ -5,6 +5,12 @@
 //! builders here cover the standard analysis topologies — line, ring, grid,
 //! complete — plus random geometric graphs, the usual stand-in for devices
 //! scattered in space with a fixed radio range.
+//!
+//! Adjacency is stored in **CSR form** (one flat edge array plus per-node
+//! offsets) rather than a `Vec` of per-node `Vec`s: a scan over a node's
+//! neighbors is a contiguous slice read, the whole graph is two
+//! allocations, and a round-loop sweep over all nodes walks the edge array
+//! linearly — the layout the engine's sharded hot path is built around.
 
 use crate::{NodeId, Rng};
 
@@ -30,42 +36,198 @@ pub trait GraphView {
     }
 }
 
-/// The point set and connection radius behind a random geometric graph,
-/// for consumers that need the embedding itself — e.g. waypoint mobility
-/// models that move nodes and re-derive radius-based edges.
+/// A uniform bucket grid over the unit square: cells of edge length
+/// `>= radius` so that all points within `radius` of a query point lie in
+/// a bounded window of cells around it. This is what makes RGG
+/// construction and mobility re-derivation `O(local density)` instead of
+/// a full `O(n)` scan per node.
 #[derive(Clone, Debug)]
-pub struct RggGeometry {
-    /// Node positions in the unit square, indexed by node id.
-    pub positions: Vec<(f64, f64)>,
-    /// Connection radius: nodes within this distance are adjacent.
-    pub radius: f64,
+struct SpatialGrid {
+    /// Cells per side.
+    dims: usize,
+    /// How many cells a radius spans (the query window half-width).
+    reach: usize,
+    /// `dims × dims` buckets of node ids, row-major.
+    buckets: Vec<Vec<u32>>,
 }
 
-impl RggGeometry {
-    /// Sorted ids of every node within `radius` of `node`'s position
-    /// (excluding `node` itself), against the current `positions`.
-    pub fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
-        let (x, y) = self.positions[node.index()];
-        let r2 = self.radius * self.radius;
-        self.positions
+impl SpatialGrid {
+    fn new(positions: &[(f64, f64)], radius: f64) -> Self {
+        let n = positions.len();
+        // Cell edge ~ radius, but never more buckets than ~n so sparse
+        // point sets with tiny radii do not allocate absurd grids.
+        let max_dims = (n as f64).sqrt().ceil().max(1.0) as usize;
+        let dims = ((1.0 / radius).floor() as usize).clamp(1, max_dims);
+        let reach = (radius * dims as f64).ceil().max(1.0) as usize;
+        let mut grid = SpatialGrid {
+            dims,
+            reach,
+            buckets: vec![Vec::new(); dims * dims],
+        };
+        for (i, &p) in positions.iter().enumerate() {
+            let b = grid.bucket_of(p);
+            grid.buckets[b].push(i as u32);
+        }
+        grid
+    }
+
+    #[inline]
+    fn axis_cell(&self, coord: f64) -> usize {
+        ((coord * self.dims as f64) as usize).min(self.dims - 1)
+    }
+
+    #[inline]
+    fn bucket_of(&self, (x, y): (f64, f64)) -> usize {
+        self.axis_cell(y) * self.dims + self.axis_cell(x)
+    }
+
+    fn remove(&mut self, pos: (f64, f64), id: u32) {
+        let b = self.bucket_of(pos);
+        let bucket = &mut self.buckets[b];
+        let at = bucket
             .iter()
-            .enumerate()
-            .filter(|&(v, &(px, py))| {
-                v != node.index() && {
-                    let (dx, dy) = (x - px, y - py);
-                    dx * dx + dy * dy <= r2
+            .position(|&v| v == id)
+            .expect("node must be bucketed at its recorded position");
+        bucket.swap_remove(at);
+    }
+
+    fn insert(&mut self, pos: (f64, f64), id: u32) {
+        let b = self.bucket_of(pos);
+        self.buckets[b].push(id);
+    }
+
+    /// Visit every node id bucketed within `reach` cells of `pos`.
+    fn for_window(&self, pos: (f64, f64), mut f: impl FnMut(u32)) {
+        let (cx, cy) = (self.axis_cell(pos.0), self.axis_cell(pos.1));
+        let (x0, x1) = (
+            cx.saturating_sub(self.reach),
+            (cx + self.reach).min(self.dims - 1),
+        );
+        let (y0, y1) = (
+            cy.saturating_sub(self.reach),
+            (cy + self.reach).min(self.dims - 1),
+        );
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                for &id in &self.buckets[y * self.dims + x] {
+                    f(id);
                 }
-            })
-            .map(|(v, _)| NodeId(v as u32))
-            .collect()
+            }
+        }
     }
 }
 
-/// An undirected graph over nodes `0..num_nodes()`, with sorted adjacency
-/// lists for cache-friendly scans and `O(log degree)` membership checks.
+/// The point set and connection radius behind a random geometric graph,
+/// for consumers that need the embedding itself — e.g. waypoint mobility
+/// models that move nodes and re-derive radius-based edges.
+///
+/// The geometry maintains an internal uniform bucket grid over the points, so
+/// neighbor re-derivation queries only nearby cells; positions therefore
+/// change through [`move_to`](Self::move_to) (which keeps the index
+/// consistent) rather than by direct field access.
+#[derive(Clone, Debug)]
+pub struct RggGeometry {
+    /// Node positions in the unit square, indexed by node id.
+    positions: Vec<(f64, f64)>,
+    /// Connection radius: nodes within this distance are adjacent.
+    radius: f64,
+    grid: SpatialGrid,
+}
+
+impl RggGeometry {
+    /// Index `positions` under connection radius `radius`.
+    pub fn new(positions: Vec<(f64, f64)>, radius: f64) -> Self {
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "connection radius must be positive"
+        );
+        let grid = SpatialGrid::new(&positions, radius);
+        RggGeometry {
+            positions,
+            radius,
+            grid,
+        }
+    }
+
+    /// Number of embedded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// All node positions, indexed by node id.
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.positions
+    }
+
+    /// Current position of `node`.
+    #[inline]
+    pub fn position(&self, node: NodeId) -> (f64, f64) {
+        self.positions[node.index()]
+    }
+
+    /// The connection radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Move `node` to `pos`, keeping the spatial index consistent.
+    pub fn move_to(&mut self, node: NodeId, pos: (f64, f64)) {
+        let old = self.positions[node.index()];
+        self.grid.remove(old, node.0);
+        self.positions[node.index()] = pos;
+        self.grid.insert(pos, node.0);
+    }
+
+    /// Sorted ids of every node within `radius` of `node`'s position
+    /// (excluding `node` itself), against the current positions. Queries
+    /// only the grid cells a radius can span, so the cost scales with
+    /// local density, not `n`.
+    pub fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
+        let (x, y) = self.positions[node.index()];
+        let r2 = self.radius * self.radius;
+        let mut out = Vec::new();
+        self.grid.for_window((x, y), |v| {
+            if v != node.0 {
+                let (px, py) = self.positions[v as usize];
+                let (dx, dy) = (x - px, y - py);
+                if dx * dx + dy * dy <= r2 {
+                    out.push(NodeId(v));
+                }
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// Every radius edge as a `(u, v)` pair with `u < v`, via the grid.
+    fn edge_pairs(&self) -> Vec<(u32, u32)> {
+        let r2 = self.radius * self.radius;
+        let mut edges = Vec::new();
+        for (u, &(x, y)) in self.positions.iter().enumerate() {
+            self.grid.for_window((x, y), |v| {
+                if (v as usize) > u {
+                    let (px, py) = self.positions[v as usize];
+                    let (dx, dy) = (x - px, y - py);
+                    if dx * dx + dy * dy <= r2 {
+                        edges.push((u as u32, v));
+                    }
+                }
+            });
+        }
+        edges
+    }
+}
+
+/// An undirected graph over nodes `0..num_nodes()` in CSR layout: one flat
+/// sorted edge array plus `u32` offsets, giving cache-friendly contiguous
+/// neighbor slices and `O(log degree)` membership checks with exactly two
+/// heap allocations for the whole graph.
 #[derive(Clone, Debug)]
 pub struct Topology {
-    adj: Vec<Vec<NodeId>>,
+    /// `offsets[u]..offsets[u+1]` indexes `u`'s neighbors in `edges`.
+    pub(crate) offsets: Vec<u32>,
+    /// Concatenated sorted neighbor lists.
+    pub(crate) edges: Vec<NodeId>,
     name: String,
 }
 
@@ -73,22 +235,34 @@ impl Topology {
     /// Build a topology from an undirected edge list. Self-loops and
     /// duplicate edges are ignored.
     pub fn from_edges(name: &str, n: usize, edges: &[(u32, u32)]) -> Self {
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Materialize both directions, sort, dedup, then cut into CSR.
+        let mut directed: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
         for &(u, v) in edges {
             let (ui, vi) = (u as usize, v as usize);
             assert!(ui < n && vi < n, "edge ({u},{v}) out of range for n={n}");
             if ui == vi {
                 continue;
             }
-            adj[ui].push(NodeId(v));
-            adj[vi].push(NodeId(u));
+            directed.push((u, v));
+            directed.push((v, u));
         }
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
+        directed.sort_unstable();
+        directed.dedup();
+        assert!(
+            directed.len() < u32::MAX as usize,
+            "edge count overflows u32 CSR offsets"
+        );
+        let mut offsets = vec![0u32; n + 1];
+        for &(u, _) in &directed {
+            offsets[u as usize + 1] += 1;
         }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let edges = directed.into_iter().map(|(_, v)| NodeId(v)).collect();
         Topology {
-            adj,
+            offsets,
+            edges,
             name: name.to_string(),
         }
     }
@@ -149,6 +323,11 @@ impl Topology {
     /// [`random_geometric`](Self::random_geometric), also returning the
     /// point set and final radius so mobility models can move the nodes
     /// and re-derive radius-based edges. Same RNG consumption, same graph.
+    ///
+    /// Edge derivation goes through the geometry's spatial grid — each
+    /// node checks only the points bucketed within a radius of itself —
+    /// so a million-node RGG builds in `O(n · expected degree)` rather
+    /// than the old all-pairs `O(n²)` sweep.
     pub fn random_geometric_with_geometry(n: usize, rng: &mut Rng) -> (Self, RggGeometry) {
         let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
         let mut radius = if n > 1 {
@@ -157,22 +336,9 @@ impl Topology {
             1.0
         };
         loop {
-            let r2 = radius * radius;
-            let mut edges = Vec::new();
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    let (dx, dy) = (pts[u].0 - pts[v].0, pts[u].1 - pts[v].1);
-                    if dx * dx + dy * dy <= r2 {
-                        edges.push((u as u32, v as u32));
-                    }
-                }
-            }
-            let topo = Self::from_edges("random_geometric", n, &edges);
+            let geometry = RggGeometry::new(pts.clone(), radius);
+            let topo = Self::from_edges("random_geometric", n, &geometry.edge_pairs());
             if topo.is_connected() {
-                let geometry = RggGeometry {
-                    positions: pts,
-                    radius,
-                };
                 return (topo, geometry);
             }
             radius *= 1.25;
@@ -181,7 +347,7 @@ impl Topology {
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Builder name ("ring", "grid", …).
@@ -190,23 +356,26 @@ impl Topology {
     }
 
     /// Sorted neighbors of `node`.
+    #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.adj[node.index()]
+        let u = node.index();
+        &self.edges[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
     /// Degree of `node`.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adj[node.index()].len()
+        let u = node.index();
+        (self.offsets[u + 1] - self.offsets[u]) as usize
     }
 
     /// Are `u` and `v` adjacent?
     pub fn are_neighbors(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj[u.index()].binary_search(&v).is_ok()
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Total number of undirected edges.
     pub fn num_edges(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.edges.len() / 2
     }
 
     /// BFS connectivity check. The empty graph counts as connected.
@@ -220,7 +389,7 @@ impl Topology {
         seen[0] = true;
         let mut visited = 1;
         while let Some(u) = queue.pop_front() {
-            for &v in &self.adj[u] {
+            for &v in self.neighbors(NodeId(u as u32)) {
                 if !seen[v.index()] {
                     seen[v.index()] = true;
                     visited += 1;
@@ -313,5 +482,72 @@ mod tests {
     fn disconnected_graph_detected() {
         let t = Topology::from_edges("pair", 4, &[(0, 1), (2, 3)]);
         assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn csr_layout_is_contiguous_and_sorted() {
+        let t = Topology::from_edges("messy", 4, &[(3, 0), (0, 1), (1, 3), (0, 2)]);
+        assert_eq!(t.offsets.len(), 5);
+        assert_eq!(t.offsets[4] as usize, t.edges.len());
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(t.neighbors(NodeId(3)), &[NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn grid_neighbors_match_brute_force() {
+        // The spatial index must reproduce exactly the all-pairs scan it
+        // replaced, including points on cell boundaries.
+        let mut rng = Rng::new(7);
+        let pts: Vec<(f64, f64)> = (0..300).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
+        for &radius in &[0.03, 0.1, 0.5, 1.5] {
+            let geo = RggGeometry::new(pts.clone(), radius);
+            let r2 = radius * radius;
+            for u in 0..300u32 {
+                let (x, y) = pts[u as usize];
+                let brute: Vec<NodeId> = (0..300u32)
+                    .filter(|&v| {
+                        v != u && {
+                            let (px, py) = pts[v as usize];
+                            let (dx, dy) = (x - px, y - py);
+                            dx * dx + dy * dy <= r2
+                        }
+                    })
+                    .map(NodeId)
+                    .collect();
+                assert_eq!(
+                    geo.neighbors_of(NodeId(u)),
+                    brute,
+                    "radius {radius} node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_moves_keep_the_index_consistent() {
+        let mut rng = Rng::new(19);
+        let pts: Vec<(f64, f64)> = (0..80).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
+        let mut geo = RggGeometry::new(pts, 0.2);
+        for step in 0..200 {
+            let node = NodeId((step * 13 % 80) as u32);
+            let target = (rng.gen_f64(), rng.gen_f64());
+            geo.move_to(node, target);
+            assert_eq!(geo.position(node), target);
+            // Re-derived neighbors match a brute-force scan of the
+            // *current* positions.
+            let (x, y) = target;
+            let r2 = geo.radius() * geo.radius();
+            let brute: Vec<NodeId> = (0..80u32)
+                .filter(|&v| {
+                    v != node.0 && {
+                        let (px, py) = geo.positions()[v as usize];
+                        let (dx, dy) = (x - px, y - py);
+                        dx * dx + dy * dy <= r2
+                    }
+                })
+                .map(NodeId)
+                .collect();
+            assert_eq!(geo.neighbors_of(node), brute, "step {step}");
+        }
     }
 }

@@ -105,7 +105,7 @@ fn rgg_geometry_matches_the_graph() {
     // the builder chose — the contract mobility models depend on.
     let mut rng = Rng::new(17);
     let (t, geometry) = Topology::random_geometric_with_geometry(50, &mut rng);
-    assert_eq!(geometry.positions.len(), 50);
+    assert_eq!(geometry.positions().len(), 50);
     for u in 0..50u32 {
         let derived = geometry.neighbors_of(NodeId(u));
         assert_eq!(

@@ -42,18 +42,14 @@ impl DynamicsModel for Waypoint {
                 self.speed
             ));
         }
-        if !(self.geometry.radius > 0.0 && self.geometry.radius.is_finite()) {
-            return Err(format!(
-                "connection radius {} must be positive",
-                self.geometry.radius
-            ));
-        }
+        // The radius needs no check here: `RggGeometry::new` is the only
+        // constructor and rejects non-positive / non-finite radii.
         Ok(())
     }
 
     fn stream(&self, topology: &Topology, seed: u64) -> Box<dyn MutationStream> {
         assert_eq!(
-            self.geometry.positions.len(),
+            self.geometry.num_nodes(),
             topology.num_nodes(),
             "waypoint geometry must cover exactly the run's topology"
         );
@@ -75,7 +71,8 @@ impl DynamicsModel for Waypoint {
 
 struct WaypointStream {
     speed: f64,
-    /// `geometry.positions` holds every node's *current* position.
+    /// The geometry holds every node's *current* position (and the
+    /// spatial index that keeps neighbor re-derivation local).
     geometry: RggGeometry,
     targets: Vec<(f64, f64)>,
     rng: Rng,
@@ -88,7 +85,7 @@ impl WaypointStream {
     /// Pick `node`'s next waypoint and per-leg speed, and schedule its
     /// arrival. Travel time is distance over speed, in round-sized units.
     fn depart_for_next_waypoint(&mut self, node: NodeId, now: SimTime) {
-        let (x, y) = self.geometry.positions[node.index()];
+        let (x, y) = self.geometry.position(node);
         let target = (self.rng.gen_f64(), self.rng.gen_f64());
         let leg_speed = self.speed * (0.5 + self.rng.gen_f64());
         let dist = ((x - target.0).powi(2) + (y - target.1).powi(2)).sqrt();
@@ -110,7 +107,7 @@ impl MutationStream for WaypointStream {
     fn next(&mut self) -> Option<Mutation> {
         let Reverse((time, _, node)) = self.heap.pop()?;
         let node = NodeId(node);
-        self.geometry.positions[node.index()] = self.targets[node.index()];
+        self.geometry.move_to(node, self.targets[node.index()]);
         let neighbors = self.geometry.neighbors_of(node);
         self.depart_for_next_waypoint(node, time);
         Some(Mutation {
@@ -190,11 +187,16 @@ mod tests {
         let mut bad = ok.clone();
         bad.speed = 0.0;
         assert!(bad.validate().is_err());
-        let mut bad = ok.clone();
+        let mut bad = ok;
         bad.speed = f64::INFINITY;
         assert!(bad.validate().is_err());
-        let mut bad = ok;
-        bad.geometry.radius = 0.0;
-        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn degenerate_radii_cannot_even_be_constructed() {
+        // A zero radius is rejected at geometry construction, so no
+        // waypoint model can ever carry one.
+        let _ = gossip_core::RggGeometry::new(vec![(0.5, 0.5)], 0.0);
     }
 }

@@ -1,7 +1,7 @@
 //! Productive, advertisement-guided gossip.
 
 use crate::{GossipProtocol, NodeCtx};
-use gossip_core::{Advertisement, Intent, MessageSet, Rng};
+use gossip_core::{Advertisement, Intent, MsgView, Rng};
 
 /// Advertisement-guided gossip from the paper family: each node advertises a
 /// fingerprint of its message set, so neighbors can tell *before* spending
@@ -105,7 +105,7 @@ impl GossipProtocol for AdvertGossip {
         "advert"
     }
 
-    fn advertise(&self, messages: &MessageSet, salt: u64) -> Advertisement {
+    fn advertise(&self, messages: MsgView<'_>, salt: u64) -> Advertisement {
         Advertisement(messages.fingerprint_salted(salt))
     }
 
@@ -121,7 +121,7 @@ impl GossipProtocol for AdvertGossip {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gossip_core::NodeId;
+    use gossip_core::{MessageSet, NodeId};
 
     fn set_with(universe: usize, ids: &[usize]) -> MessageSet {
         let mut s = MessageSet::new(universe);
@@ -140,7 +140,7 @@ mod tests {
         NodeCtx {
             id: NodeId(0),
             salt,
-            messages,
+            messages: messages.view(),
             neighbors,
             neighbor_ads: ads,
         }
@@ -218,8 +218,8 @@ mod tests {
         // two different sets cannot persist.
         let messages = set_with(128, &[4]);
         assert_ne!(
-            AdvertGossip.advertise(&messages, 1),
-            AdvertGossip.advertise(&messages, 2)
+            AdvertGossip.advertise(messages.view(), 1),
+            AdvertGossip.advertise(messages.view(), 2)
         );
     }
 
@@ -228,7 +228,7 @@ mod tests {
         let messages = set_with(128, &[4]);
         let other = set_with(128, &[67]);
         let round = 3;
-        let ads = [AdvertGossip.advertise(&other, round)];
+        let ads = [AdvertGossip.advertise(other.view(), round)];
         let neighbors = [NodeId(1)];
         let ctx = ctx(&messages, &neighbors, &ads, round);
         let mut rng = Rng::new(21);

@@ -20,7 +20,7 @@ mod uniform;
 pub use advert::AdvertGossip;
 pub use uniform::UniformGossip;
 
-use gossip_core::{Advertisement, Intent, MessageSet, NodeId, Rng};
+use gossip_core::{Advertisement, Intent, MsgView, NodeId, Rng};
 
 /// Everything a node is allowed to see when committing a connection
 /// intent: its own state plus a snapshot of its neighborhood — the most
@@ -39,7 +39,10 @@ pub struct NodeCtx<'a> {
     /// epoch under an asynchronous one. Protocols hashing their tags mix
     /// this in so stale hash collisions cannot persist.
     pub salt: u64,
-    pub messages: &'a MessageSet,
+    /// The node's own message set — a borrowed view, so the engine can
+    /// back it with a row of its struct-of-arrays state or a standalone
+    /// [`gossip_core::MessageSet`] interchangeably.
+    pub messages: MsgView<'a>,
     /// Neighbors in the topology, parallel to `neighbor_ads`.
     pub neighbors: &'a [NodeId],
     /// The advertisement most recently scanned from each neighbor.
@@ -48,14 +51,19 @@ pub struct NodeCtx<'a> {
 
 /// A gossip protocol in the mobile telephone model. Implementations must be
 /// deterministic given the RNG: all randomness flows through `rng`.
-pub trait GossipProtocol {
+///
+/// `Sync` is a supertrait: the synchronous engine shards its advertise and
+/// decide phases across worker threads that share one `&dyn
+/// GossipProtocol`, so implementations must be immutable (or internally
+/// synchronized) per-call — which stateless protocols trivially are.
+pub trait GossipProtocol: Sync {
     /// Stable protocol name, used in CLI selection and reporting.
     fn name(&self) -> &'static str;
 
     /// The tag this node broadcasts when it (re)advertises. `salt` is the
     /// same value later visible as [`NodeCtx::salt`] to scanners of this
     /// tag's generation.
-    fn advertise(&self, messages: &MessageSet, salt: u64) -> Advertisement;
+    fn advertise(&self, messages: MsgView<'_>, salt: u64) -> Advertisement;
 
     /// The node's connection intent, after scanning neighbor tags.
     fn decide(&self, ctx: &NodeCtx<'_>, rng: &mut Rng) -> Intent;

@@ -1,7 +1,7 @@
 //! Blind uniform random spread.
 
 use crate::{GossipProtocol, NodeCtx};
-use gossip_core::{Advertisement, Intent, MessageSet, Rng};
+use gossip_core::{Advertisement, Intent, MsgView, Rng};
 
 /// The baseline protocol: advertisements carry nothing, and each round every
 /// node flips a fair coin to pick a role — propose to a uniformly random
@@ -15,7 +15,7 @@ impl GossipProtocol for UniformGossip {
         "uniform"
     }
 
-    fn advertise(&self, _messages: &MessageSet, _salt: u64) -> Advertisement {
+    fn advertise(&self, _messages: MsgView<'_>, _salt: u64) -> Advertisement {
         Advertisement(0)
     }
 
@@ -34,7 +34,7 @@ impl GossipProtocol for UniformGossip {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gossip_core::NodeId;
+    use gossip_core::{MessageSet, NodeId};
 
     #[test]
     fn isolated_node_idles() {
@@ -42,7 +42,7 @@ mod tests {
         let ctx = NodeCtx {
             id: NodeId(0),
             salt: 1,
-            messages: &messages,
+            messages: messages.view(),
             neighbors: &[],
             neighbor_ads: &[],
         };
@@ -57,7 +57,7 @@ mod tests {
         let ctx = NodeCtx {
             id: NodeId(0),
             salt: 1,
-            messages: &messages,
+            messages: messages.view(),
             neighbors: &neighbors,
             neighbor_ads: &ads,
         };

@@ -8,7 +8,7 @@
 use crate::metrics::{CoveragePoint, DynamicsStats};
 
 use gossip_core::time::TICKS_PER_ROUND;
-use gossip_core::{DynamicTopology, MessageSet, NodeId, SimTime, Topology};
+use gossip_core::{DynamicTopology, MessageMatrix, NodeId, SimTime, Topology};
 use gossip_dynamics::{dynamics_seed, DynamicsModel, Mutation, MutationKind, MutationStream};
 
 /// Timeline points before thinning kicks in: beyond this, every other
@@ -40,14 +40,14 @@ impl DynRun {
         topology: &Topology,
         dynamics: &dyn DynamicsModel,
         seed: u64,
-        states: &[MessageSet],
+        states: &MessageMatrix,
     ) -> Self {
         dynamics
             .validate()
             .unwrap_or_else(|e| panic!("invalid dynamics config: {e}"));
         let n = topology.num_nodes();
-        let alive_informed = states.iter().filter(|s| s.is_full()).count();
-        let alive_messages = states.iter().map(MessageSet::count).sum();
+        let alive_informed = states.full_count();
+        let alive_messages = states.total_messages();
         let mut run = DynRun {
             topo: DynamicTopology::new(topology),
             stream: dynamics.stream(topology, dynamics_seed(seed)),
@@ -96,7 +96,7 @@ impl DynRun {
     pub fn apply(
         &mut self,
         mutation: &Mutation,
-        states: &mut [MessageSet],
+        states: &mut MessageMatrix,
         sources: &[NodeId],
     ) -> bool {
         if !mutation.kind.apply(&mut self.topo) {
@@ -105,9 +105,8 @@ impl DynRun {
         match &mutation.kind {
             MutationKind::Depart(u) => {
                 self.stats.departures += 1;
-                let s = &states[u.index()];
-                self.alive_informed -= s.is_full() as usize;
-                self.alive_messages -= s.count();
+                self.alive_informed -= states.is_full(u.index()) as usize;
+                self.alive_messages -= states.count(u.index());
                 self.stats.min_alive = self.stats.min_alive.min(self.topo.alive_count());
             }
             MutationKind::Rejoin {
@@ -116,20 +115,18 @@ impl DynRun {
             } => {
                 self.stats.rejoins += 1;
                 if *reset_messages {
-                    let s = &mut states[node.index()];
-                    *s = MessageSet::new(s.universe());
+                    states.reset(node.index());
                     // A source re-learns the rumors it originated: the
                     // rumor is its own data, so it cannot go permanently
                     // extinct while its source churns.
                     for (m, src) in sources.iter().enumerate() {
                         if src == node {
-                            s.insert(m);
+                            states.insert(node.index(), m);
                         }
                     }
                 }
-                let s = &states[node.index()];
-                self.alive_informed += s.is_full() as usize;
-                self.alive_messages += s.count();
+                self.alive_informed += states.is_full(node.index()) as usize;
+                self.alive_messages += states.count(node.index());
                 self.stats.peak_alive = self.stats.peak_alive.max(self.topo.alive_count());
             }
             MutationKind::EdgeDown(..) => self.stats.edge_downs += 1,
@@ -148,7 +145,7 @@ impl DynRun {
     pub fn drain_until(
         &mut self,
         horizon: SimTime,
-        states: &mut [MessageSet],
+        states: &mut MessageMatrix,
         sources: &[NodeId],
     ) -> bool {
         let mut changed = false;
@@ -233,11 +230,11 @@ mod tests {
         }
     }
 
-    fn setup(k: usize, sources: &[NodeId]) -> (DynRun, Vec<MessageSet>) {
+    fn setup(k: usize, sources: &[NodeId]) -> (DynRun, MessageMatrix) {
         let topo = Topology::ring(4);
-        let mut states: Vec<MessageSet> = (0..4).map(|_| MessageSet::new(k)).collect();
+        let mut states = MessageMatrix::new(4, k);
         for (m, s) in sources.iter().enumerate() {
-            states[s.index()].insert(m);
+            states.insert(s.index(), m);
         }
         let run = DynRun::new(&topo, &NoDynamics, 1, &states);
         (run, states)
@@ -301,7 +298,7 @@ mod tests {
         let sources = [NodeId(0), NodeId(2)];
         let (mut run, mut states) = setup(2, &sources);
         // Node 2 learns rumor 0 as well, then churns with the Lose policy.
-        states[2].insert(0);
+        states.insert(2, 0);
         run.alive_messages += 1;
         run.alive_informed += 1;
 
@@ -323,8 +320,8 @@ mod tests {
             &sources,
         ));
         // The learned rumor 0 is gone; its own rumor 1 is re-learned.
-        assert!(!states[2].contains(0));
-        assert!(states[2].contains(1));
+        assert!(!states.contains(2, 0));
+        assert!(states.contains(2, 1));
         assert_eq!(run.stats.rejoins, 1);
         assert_eq!(run.alive_informed, 0);
         assert_eq!(run.stats.peak_alive, 4);
@@ -350,7 +347,7 @@ mod tests {
             &mut states,
             &sources,
         );
-        assert!(states[0].contains(0));
+        assert!(states.contains(0, 0));
         assert_eq!(run.alive_informed, 1);
     }
 

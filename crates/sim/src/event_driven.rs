@@ -27,16 +27,14 @@
 
 use crate::dynamic::DynRun;
 use crate::metrics::RoundStats;
-use crate::scheduler::{init_run, ordered_pair, Scheduler};
+use crate::scheduler::{init_run, Scheduler};
 use crate::{SimConfig, SimResult};
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use gossip_core::time::{SimTime, TimingConfig, TICKS_PER_ROUND};
-use gossip_core::{
-    Advertisement, IncrementalMatcher, Intent, MessageSet, NodeId, PeerState, Rng, Topology,
-};
+use gossip_core::{Advertisement, IncrementalMatcher, Intent, NodeId, PeerState, Rng, Topology};
 use gossip_dynamics::{DynamicsModel, MutationKind};
 use gossip_protocols::{GossipProtocol, NodeCtx};
 
@@ -145,12 +143,14 @@ impl Scheduler for AsyncScheduler {
             return result;
         }
         let mut complete_nodes = result.complete_nodes;
-        let mut messages_held: usize = states.iter().map(MessageSet::count).sum();
+        let mut messages_held: usize = states.total_messages();
 
         let max_time = (config.max_rounds as u64).saturating_mul(TICKS_PER_ROUND);
         let drift_factors: Vec<f64> = (0..n).map(|_| self.timing.drift_factor(&mut rng)).collect();
         // Every node publishes an initial epoch-0 tag before anyone scans.
-        let mut ads: Vec<Advertisement> = states.iter().map(|s| protocol.advertise(s, 0)).collect();
+        let mut ads: Vec<Advertisement> = (0..n)
+            .map(|u| protocol.advertise(states.view(u), 0))
+            .collect();
         let mut matcher = IncrementalMatcher::new(n);
         let mut ad_scratch: Vec<Advertisement> = Vec::new();
 
@@ -221,14 +221,14 @@ impl Scheduler for AsyncScheduler {
                                 matcher.cancel(u);
                             }
                             let epoch = now.epoch();
-                            ads[ui] = protocol.advertise(&states[ui], epoch);
+                            ads[ui] = protocol.advertise(states.view(ui), epoch);
                             let neighbors = topology.neighbors(u);
                             ad_scratch.clear();
                             ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
                             let ctx = NodeCtx {
                                 id: u,
                                 salt: epoch,
-                                messages: &states[ui],
+                                messages: states.view(ui),
                                 neighbors,
                                 neighbor_ads: &ad_scratch,
                             };
@@ -290,12 +290,12 @@ impl Scheduler for AsyncScheduler {
                     initiator,
                     acceptor,
                 } => {
-                    let (a, b) = ordered_pair(&mut states, initiator.index(), acceptor.index());
-                    let before_a = a.is_full();
-                    let before_b = b.is_full();
-                    let moved = a.union_with(b) + b.union_with(a);
-                    complete_nodes += (a.is_full() && !before_a) as usize;
-                    complete_nodes += (b.is_full() && !before_b) as usize;
+                    let (i, j) = (initiator.index(), acceptor.index());
+                    let before_i = states.is_full(i);
+                    let before_j = states.is_full(j);
+                    let moved = states.union_pair(i, j);
+                    complete_nodes += (states.is_full(i) && !before_i) as usize;
+                    complete_nodes += (states.is_full(j) && !before_j) as usize;
                     messages_held += moved;
 
                     result.total_connections += 1;
@@ -378,7 +378,9 @@ impl Scheduler for AsyncScheduler {
 
         let max_time = (config.max_rounds as u64).saturating_mul(TICKS_PER_ROUND);
         let drift_factors: Vec<f64> = (0..n).map(|_| self.timing.drift_factor(&mut rng)).collect();
-        let mut ads: Vec<Advertisement> = states.iter().map(|s| protocol.advertise(s, 0)).collect();
+        let mut ads: Vec<Advertisement> = (0..n)
+            .map(|u| protocol.advertise(states.view(u), 0))
+            .collect();
         let mut matcher = IncrementalMatcher::new(n);
         let mut ad_scratch: Vec<Advertisement> = Vec::new();
         // A node's incarnation number; death bumps it, orphaning every
@@ -516,14 +518,14 @@ impl Scheduler for AsyncScheduler {
                                 matcher.cancel(u);
                             }
                             let epoch = now.epoch();
-                            ads[ui] = protocol.advertise(&states[ui], epoch);
+                            ads[ui] = protocol.advertise(states.view(ui), epoch);
                             let neighbors = dynr.topo.active_neighbors(u);
                             ad_scratch.clear();
                             ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
                             let ctx = NodeCtx {
                                 id: u,
                                 salt: epoch,
-                                messages: &states[ui],
+                                messages: states.view(ui),
                                 neighbors,
                                 neighbor_ads: &ad_scratch,
                             };
@@ -594,13 +596,13 @@ impl Scheduler for AsyncScheduler {
                     if gen_i != gens[initiator.index()] || gen_a != gens[acceptor.index()] {
                         continue; // the connection was severed by a death
                     }
-                    let (a, b) = ordered_pair(&mut states, initiator.index(), acceptor.index());
-                    let before_a = a.is_full();
-                    let before_b = b.is_full();
-                    let moved = a.union_with(b) + b.union_with(a);
+                    let (i, j) = (initiator.index(), acceptor.index());
+                    let before_i = states.is_full(i);
+                    let before_j = states.is_full(j);
+                    let moved = states.union_pair(i, j);
                     // Both endpoints are alive: a death would have severed.
-                    dynr.alive_informed += (a.is_full() && !before_a) as usize;
-                    dynr.alive_informed += (b.is_full() && !before_b) as usize;
+                    dynr.alive_informed += (states.is_full(i) && !before_i) as usize;
+                    dynr.alive_informed += (states.is_full(j) && !before_j) as usize;
                     dynr.alive_messages += moved;
 
                     result.total_connections += 1;

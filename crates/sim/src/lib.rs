@@ -105,7 +105,7 @@ pub fn run(
     seed: u64,
     config: &SimConfig,
 ) -> SimResult {
-    SyncScheduler.run(topology, protocol, sources, seed, config)
+    SyncScheduler::default().run(topology, protocol, sources, seed, config)
 }
 
 #[cfg(test)]

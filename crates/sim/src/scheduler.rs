@@ -8,15 +8,29 @@
 //!
 //! [`SyncScheduler`] is the engine of the PODC 2017 paper: globally
 //! synchronized advertise → scan → connect → transfer rounds, with batch
-//! connection resolution. Its behavior is the original `run()` loop,
-//! bit-for-bit; existing round-count regression tests pin this down.
+//! connection resolution. Its hot path is built for scale:
+//!
+//! - per-node gossip state lives in a [`MessageMatrix`]
+//!   (struct-of-arrays), advertisements and intents in flat arrays;
+//! - the advertise and scan/decide phases shard across
+//!   `std::thread::scope` workers, each owning a contiguous node range;
+//! - **determinism is independent of the thread count**: each node's
+//!   protocol randomness comes from its own stream
+//!   `Rng::stream(seed, round, node)` and the matching shuffle from the
+//!   round stream `Rng::stream(seed, round, MATCHING_STREAM)`, and
+//!   workers write intents into node-indexed slots (a merge in node
+//!   order), so `threads = 1` and `threads = 64` produce byte-identical
+//!   [`SimResult`]s. Round-count regressions pin this down.
 
 use crate::dynamic::DynRun;
 use crate::metrics::RoundStats;
 use crate::{SimConfig, SimResult};
 
 use gossip_core::time::{SimTime, TICKS_PER_ROUND};
-use gossip_core::{resolve_connections, Advertisement, Intent, MessageSet, NodeId, Rng, Topology};
+use gossip_core::topology::GraphView;
+use gossip_core::{
+    resolve_connections, Advertisement, Intent, MessageMatrix, NodeId, Rng, Topology,
+};
 use gossip_dynamics::DynamicsModel;
 use gossip_protocols::{GossipProtocol, NodeCtx};
 
@@ -57,7 +71,7 @@ pub trait Scheduler {
     ) -> SimResult;
 }
 
-/// Shared run setup: seed the per-node message sets from `sources` and
+/// Shared run setup: seed the per-node message matrix from `sources` and
 /// build a result skeleton (handles the already-complete-at-time-zero
 /// case, e.g. a single-node topology).
 pub(crate) fn init_run(
@@ -67,18 +81,18 @@ pub(crate) fn init_run(
     sources: &[NodeId],
     seed: u64,
     config: &SimConfig,
-) -> (Vec<MessageSet>, SimResult) {
+) -> (MessageMatrix, SimResult) {
     let n = topology.num_nodes();
     let k = sources.len();
     assert!(n > 0, "cannot simulate an empty topology");
     assert!(k > 0, "gossip needs at least one message");
 
-    let mut states: Vec<MessageSet> = (0..n).map(|_| MessageSet::new(k)).collect();
+    let mut states = MessageMatrix::new(n, k);
     for (m, &node) in sources.iter().enumerate() {
-        states[node.index()].insert(m);
+        states.insert(node.index(), m);
     }
 
-    let complete_nodes = states.iter().filter(|s| s.is_full()).count();
+    let complete_nodes = states.full_count();
     let result = SimResult {
         topology: topology.name().to_string(),
         protocol: protocol.name().to_string(),
@@ -101,13 +115,149 @@ pub(crate) fn init_run(
     (states, result)
 }
 
+/// Stream coordinate reserved for the per-round matching shuffle. Node
+/// streams use the node id as their coordinate; ids are `u32`, so this
+/// value can never collide with one.
+const MATCHING_STREAM: u64 = u64::MAX;
+
 /// The synchronous round-based scheduler from the PODC 2017 paper: every
 /// round, all nodes advertise, scan, commit an intent, the batch matching
 /// resolver forms connections, and matched pairs transfer — all against a
 /// single global clock. Virtual time advances by
 /// [`TICKS_PER_ROUND`] per round.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SyncScheduler;
+///
+/// `threads` shards the advertise and scan/decide phases over that many
+/// workers. The engine is deterministic *at any thread count* (see the
+/// module docs); `threads = 1` (the default) runs the identical
+/// computation serially without spawning.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncScheduler {
+    /// Worker threads for the per-round node sweep; clamped to at least 1.
+    pub threads: usize,
+}
+
+impl Default for SyncScheduler {
+    fn default() -> Self {
+        SyncScheduler { threads: 1 }
+    }
+}
+
+impl SyncScheduler {
+    /// A scheduler sharding its round loop over `threads` workers
+    /// (0 is treated as 1).
+    pub fn with_threads(threads: usize) -> Self {
+        SyncScheduler {
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// One worker's advertise pass over its node range: refresh the tag of
+/// every (alive) node in `base..base + out.len()`.
+fn advertise_range(
+    base: usize,
+    out: &mut [Advertisement],
+    alive: Option<&[bool]>,
+    protocol: &dyn GossipProtocol,
+    states: &MessageMatrix,
+    round: u64,
+) {
+    for (i, ad) in out.iter_mut().enumerate() {
+        let u = base + i;
+        if alive.is_none_or(|mask| mask[u]) {
+            *ad = protocol.advertise(states.view(u), round);
+        }
+    }
+}
+
+/// One worker's scan/decide pass over its node range. Every node draws
+/// from its own `(seed, round, node)` stream, so the result is a pure
+/// function of the inputs — independent of which worker runs it, in what
+/// order, or how many workers exist.
+#[allow(clippy::too_many_arguments)] // one flat hot-path call, not an API
+fn decide_range<G: GraphView + ?Sized>(
+    base: usize,
+    out: &mut [Intent],
+    graph: &G,
+    alive: Option<&[bool]>,
+    protocol: &dyn GossipProtocol,
+    states: &MessageMatrix,
+    ads: &[Advertisement],
+    seed: u64,
+    round: u64,
+) {
+    let mut ad_scratch: Vec<Advertisement> = Vec::new();
+    for (i, slot) in out.iter_mut().enumerate() {
+        let u = base + i;
+        if !alive.is_none_or(|mask| mask[u]) {
+            *slot = Intent::Idle;
+            continue;
+        }
+        let id = NodeId(u as u32);
+        let neighbors = graph.neighbors(id);
+        ad_scratch.clear();
+        ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
+        let ctx = NodeCtx {
+            id,
+            salt: round,
+            messages: states.view(u),
+            neighbors,
+            neighbor_ads: &ad_scratch,
+        };
+        let mut rng = Rng::stream(seed, round, u as u64);
+        *slot = protocol.decide(&ctx, &mut rng);
+    }
+}
+
+/// Phases 1+2 of a round — advertise, then scan and commit intents —
+/// sharded over `threads` workers in contiguous node ranges. Workers
+/// synchronize once between the phases (all tags must be published before
+/// anyone scans); intents land in node-indexed slots, which *is* the
+/// deterministic node-order merge.
+#[allow(clippy::too_many_arguments)]
+fn decide_phase<G: GraphView + Sync + ?Sized>(
+    graph: &G,
+    alive: Option<&[bool]>,
+    protocol: &dyn GossipProtocol,
+    states: &MessageMatrix,
+    ads: &mut [Advertisement],
+    intents: &mut [Intent],
+    seed: u64,
+    round: u64,
+    threads: usize,
+) {
+    let n = intents.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        advertise_range(0, ads, alive, protocol, states, round);
+        decide_range(0, intents, graph, alive, protocol, states, ads, seed, round);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (w, ads_chunk) in ads.chunks_mut(chunk).enumerate() {
+            s.spawn(move || advertise_range(w * chunk, ads_chunk, alive, protocol, states, round));
+        }
+    });
+    let ads: &[Advertisement] = ads;
+    std::thread::scope(|s| {
+        for (w, intents_chunk) in intents.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                decide_range(
+                    w * chunk,
+                    intents_chunk,
+                    graph,
+                    alive,
+                    protocol,
+                    states,
+                    ads,
+                    seed,
+                    round,
+                )
+            });
+        }
+    });
+}
 
 impl Scheduler for SyncScheduler {
     fn name(&self) -> &'static str {
@@ -123,7 +273,6 @@ impl Scheduler for SyncScheduler {
         config: &SimConfig,
     ) -> SimResult {
         let n = topology.num_nodes();
-        let mut rng = Rng::new(seed);
         let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
         if result.completed {
             return result;
@@ -132,44 +281,39 @@ impl Scheduler for SyncScheduler {
 
         let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
         let mut intents: Vec<Intent> = vec![Intent::Idle; n];
-        let mut ad_scratch: Vec<Advertisement> = Vec::new();
 
         for round in 1..=config.max_rounds {
-            // Phase 1+2: advertise, then every node scans and commits an
-            // intent.
-            for (ad, state) in ads.iter_mut().zip(&states) {
-                *ad = protocol.advertise(state, round as u64);
-            }
-            for u in 0..n {
-                let id = NodeId(u as u32);
-                let neighbors = topology.neighbors(id);
-                ad_scratch.clear();
-                ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
-                let ctx = NodeCtx {
-                    id,
-                    salt: round as u64,
-                    messages: &states[u],
-                    neighbors,
-                    neighbor_ads: &ad_scratch,
-                };
-                intents[u] = protocol.decide(&ctx, &mut rng);
-            }
+            // Phases 1+2: advertise, then every node scans and commits an
+            // intent (sharded; see decide_phase).
+            decide_phase(
+                topology,
+                None,
+                protocol,
+                &states,
+                &mut ads,
+                &mut intents,
+                seed,
+                round as u64,
+                self.threads,
+            );
 
-            // Phase 3: connection resolution (the matching).
-            let connections = resolve_connections(topology, &intents, &mut rng);
+            // Phase 3: connection resolution (the matching), from the
+            // round's own stream.
+            let mut match_rng = Rng::stream(seed, round as u64, MATCHING_STREAM);
+            let connections = resolve_connections(topology, &intents, &mut match_rng);
 
             // Phase 4: push-pull transfer over each connection.
             let mut productive = 0;
             for c in &connections {
-                let (a, b) = ordered_pair(&mut states, c.initiator.index(), c.acceptor.index());
-                let before_a = a.is_full();
-                let before_b = b.is_full();
-                let moved = a.union_with(b) + b.union_with(a);
+                let (i, j) = (c.initiator.index(), c.acceptor.index());
+                let before_i = states.is_full(i);
+                let before_j = states.is_full(j);
+                let moved = states.union_pair(i, j);
                 if moved > 0 {
                     productive += 1;
                 }
-                complete_nodes += (a.is_full() && !before_a) as usize;
-                complete_nodes += (b.is_full() && !before_b) as usize;
+                complete_nodes += (states.is_full(i) && !before_i) as usize;
+                complete_nodes += (states.is_full(j) && !before_j) as usize;
             }
 
             result.rounds_executed = round;
@@ -182,7 +326,7 @@ impl Scheduler for SyncScheduler {
                     connections: connections.len(),
                     productive,
                     complete_nodes,
-                    messages_held: states.iter().map(MessageSet::count).sum(),
+                    messages_held: states.total_messages(),
                 });
             }
 
@@ -207,7 +351,9 @@ impl Scheduler for SyncScheduler {
     /// so a departure "during" a round is visible for the whole round —
     /// the natural discretization of the continuous-time stream the
     /// asynchronous scheduler interleaves exactly. Within a round the
-    /// graph is frozen, so scan, intent, and matching stay coherent.
+    /// graph is frozen, so scan, intent, and matching stay coherent — and
+    /// the sharded decide phase reads it concurrently exactly like the
+    /// static engine, skipping dead nodes via the alive mask.
     fn run_dynamic(
         &self,
         topology: &Topology,
@@ -218,7 +364,6 @@ impl Scheduler for SyncScheduler {
         config: &SimConfig,
     ) -> SimResult {
         let n = topology.num_nodes();
-        let mut rng = Rng::new(seed);
         let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
         let mut dynr = DynRun::new(topology, dynamics, seed, &states);
         if result.completed {
@@ -228,7 +373,6 @@ impl Scheduler for SyncScheduler {
 
         let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
         let mut intents: Vec<Intent> = vec![Intent::Idle; n];
-        let mut ad_scratch: Vec<Advertisement> = Vec::new();
 
         for round in 1..=config.max_rounds {
             let horizon = SimTime(round as u64 * TICKS_PER_ROUND);
@@ -242,47 +386,35 @@ impl Scheduler for SyncScheduler {
                 break;
             }
 
-            // Phase 1+2 over alive nodes only: dead nodes neither
+            // Phases 1+2 over alive nodes only: dead nodes neither
             // advertise nor scan, and active neighbor views exclude them.
-            for u in 0..n {
-                let id = NodeId(u as u32);
-                if dynr.topo.is_alive(id) {
-                    ads[u] = protocol.advertise(&states[u], round as u64);
-                }
-            }
-            for u in 0..n {
-                let id = NodeId(u as u32);
-                if !dynr.topo.is_alive(id) {
-                    intents[u] = Intent::Idle;
-                    continue;
-                }
-                let neighbors = dynr.topo.active_neighbors(id);
-                ad_scratch.clear();
-                ad_scratch.extend(neighbors.iter().map(|v| ads[v.index()]));
-                let ctx = NodeCtx {
-                    id,
-                    salt: round as u64,
-                    messages: &states[u],
-                    neighbors,
-                    neighbor_ads: &ad_scratch,
-                };
-                intents[u] = protocol.decide(&ctx, &mut rng);
-            }
+            decide_phase(
+                &dynr.topo,
+                Some(dynr.topo.alive_mask()),
+                protocol,
+                &states,
+                &mut ads,
+                &mut intents,
+                seed,
+                round as u64,
+                self.threads,
+            );
 
             // Phases 3+4 against the active graph view.
-            let connections = resolve_connections(&dynr.topo, &intents, &mut rng);
+            let mut match_rng = Rng::stream(seed, round as u64, MATCHING_STREAM);
+            let connections = resolve_connections(&dynr.topo, &intents, &mut match_rng);
             let mut productive = 0;
             for c in &connections {
-                let (a, b) = ordered_pair(&mut states, c.initiator.index(), c.acceptor.index());
-                let before_a = a.is_full();
-                let before_b = b.is_full();
-                let moved = a.union_with(b) + b.union_with(a);
+                let (i, j) = (c.initiator.index(), c.acceptor.index());
+                let before_i = states.is_full(i);
+                let before_j = states.is_full(j);
+                let moved = states.union_pair(i, j);
                 if moved > 0 {
                     productive += 1;
                 }
                 // Both endpoints are alive: dead nodes cannot match.
-                dynr.alive_informed += (a.is_full() && !before_a) as usize;
-                dynr.alive_informed += (b.is_full() && !before_b) as usize;
+                dynr.alive_informed += (states.is_full(i) && !before_i) as usize;
+                dynr.alive_informed += (states.is_full(j) && !before_j) as usize;
                 dynr.alive_messages += moved;
             }
 
@@ -315,21 +447,5 @@ impl Scheduler for SyncScheduler {
             .map(|r| r as u64 * TICKS_PER_ROUND);
         result.dynamics = Some(dynr.finish(SimTime(result.virtual_time)));
         result
-    }
-}
-
-/// Two distinct mutable references into `states`.
-pub(crate) fn ordered_pair(
-    states: &mut [MessageSet],
-    i: usize,
-    j: usize,
-) -> (&mut MessageSet, &mut MessageSet) {
-    assert_ne!(i, j, "a connection cannot join a node to itself");
-    if i < j {
-        let (lo, hi) = states.split_at_mut(j);
-        (&mut lo[i], &mut hi[0])
-    } else {
-        let (lo, hi) = states.split_at_mut(i);
-        (&mut hi[0], &mut lo[j])
     }
 }

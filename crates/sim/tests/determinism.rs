@@ -1,0 +1,167 @@
+//! Thread-count independence of the sharded synchronous engine: the
+//! per-node RNG streams (`Rng::stream(seed, round, node)`) and the
+//! node-order intent merge make the parallel round loop a pure function
+//! of the inputs, so `--threads 1`, `2`, and `8` must produce *identical*
+//! `SimResult`s — full structural equality, history and dynamics stats
+//! included — across every topology family, protocol, and both static
+//! and dynamic runs. Plus the pinned 1000-ring advert regression,
+//! re-verified against the CSR engine at several thread counts.
+
+use gossip_core::{NodeId, Rng, Topology};
+use gossip_dynamics::{
+    Churn, DynamicsModel, EdgeFading, RejoinPolicy, Waypoint, DEFAULT_SPEED_PER_ROUND,
+};
+use gossip_protocols::{AdvertGossip, GossipProtocol, UniformGossip};
+use gossip_sim::{random_sources, Scheduler, SimConfig, SimResult, SyncScheduler};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn topologies(n: usize) -> Vec<Topology> {
+    let mut rng = Rng::new(404);
+    vec![
+        Topology::ring(n),
+        Topology::grid(n),
+        Topology::random_geometric(n, &mut rng),
+    ]
+}
+
+fn protocols() -> [&'static dyn GossipProtocol; 2] {
+    [&UniformGossip, &AdvertGossip]
+}
+
+fn run_static(threads: usize, topo: &Topology, proto: &dyn GossipProtocol, k: usize) -> SimResult {
+    let mut rng = Rng::new(0xfeed);
+    let sources = random_sources(topo.num_nodes(), k, &mut rng);
+    let cfg = SimConfig {
+        max_rounds: 60 * topo.num_nodes() + 200,
+        record_rounds: true,
+    };
+    SyncScheduler::with_threads(threads).run(topo, proto, &sources, 42, &cfg)
+}
+
+#[test]
+fn static_runs_are_identical_at_any_thread_count() {
+    for topo in topologies(64) {
+        for proto in protocols() {
+            for k in [1usize, 3] {
+                let baseline = run_static(1, &topo, proto, k);
+                assert!(
+                    baseline.completed,
+                    "{} on {} must complete",
+                    proto.name(),
+                    topo.name()
+                );
+                for threads in THREAD_COUNTS {
+                    let sharded = run_static(threads, &topo, proto, k);
+                    assert_eq!(
+                        baseline,
+                        sharded,
+                        "{} on {} (k={k}): {threads}-thread run diverged from serial",
+                        proto.name(),
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn run_dyn(
+    threads: usize,
+    topo: &Topology,
+    dynamics: &dyn DynamicsModel,
+    proto: &dyn GossipProtocol,
+) -> SimResult {
+    let mut rng = Rng::new(0xfeed);
+    let sources = random_sources(topo.num_nodes(), 2, &mut rng);
+    let cfg = SimConfig {
+        max_rounds: 60 * topo.num_nodes() + 200,
+        record_rounds: true,
+    };
+    SyncScheduler::with_threads(threads).run_dynamic(topo, dynamics, proto, &sources, 77, &cfg)
+}
+
+#[test]
+fn dynamic_runs_are_identical_at_any_thread_count() {
+    let churn = Churn {
+        rate: 0.1,
+        rejoin: RejoinPolicy::Keep,
+        mean_downtime: 3.0,
+    };
+    let fading = EdgeFading {
+        fade_prob: 0.1,
+        mean_downtime: 1.0,
+    };
+    let mut rng = Rng::new(505);
+    let (rgg, geometry) = Topology::random_geometric_with_geometry(48, &mut rng);
+    let waypoint = Waypoint {
+        geometry,
+        speed: DEFAULT_SPEED_PER_ROUND,
+    };
+    let ring = Topology::ring(64);
+    let grid = Topology::grid(64);
+    for (topo, dynamics) in [
+        (&ring as &Topology, &churn as &dyn DynamicsModel),
+        (&grid, &fading),
+        (&rgg, &waypoint),
+    ] {
+        for proto in protocols() {
+            let baseline = run_dyn(1, topo, dynamics, proto);
+            for threads in THREAD_COUNTS {
+                let sharded = run_dyn(threads, topo, dynamics, proto);
+                assert_eq!(
+                    baseline,
+                    sharded,
+                    "{} on {} under {}: {threads}-thread dynamic run diverged",
+                    proto.name(),
+                    topo.name(),
+                    dynamics.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pinned_ring_regression_holds_on_the_csr_engine_at_any_thread_count() {
+    // The load-bearing regression from PR 1, re-verified against the CSR
+    // topology + struct-of-arrays engine: advertisement-guided gossip on
+    // a 1000-ring from one source is a deterministic two-frontier sweep —
+    // exactly 500 rounds and 999 all-productive connections — and the
+    // count must not depend on how many workers sharded the loop.
+    let topo = Topology::ring(1000);
+    let cfg = SimConfig::default();
+    for threads in [1usize, 4] {
+        let result =
+            SyncScheduler::with_threads(threads).run(&topo, &AdvertGossip, &[NodeId(0)], 42, &cfg);
+        assert!(result.completed, "threads={threads}");
+        assert_eq!(
+            result.rounds_to_completion,
+            Some(500),
+            "threads={threads}: the pinned 500-round ring sweep drifted"
+        );
+        assert_eq!(result.total_connections, 999, "threads={threads}");
+        assert_eq!(result.productive_connections, 999, "threads={threads}");
+        assert_eq!(result.wasted_connections, 0, "threads={threads}");
+    }
+}
+
+#[test]
+fn thread_count_zero_and_oversubscription_are_harmless() {
+    // with_threads(0) clamps to 1, and more workers than nodes clamps to
+    // the node count — both still byte-identical to serial.
+    let topo = Topology::ring(12);
+    let sources = [NodeId(3)];
+    let cfg = SimConfig {
+        record_rounds: true,
+        ..SimConfig::default()
+    };
+    let serial = SyncScheduler::default().run(&topo, &UniformGossip, &sources, 9, &cfg);
+    for scheduler in [
+        SyncScheduler::with_threads(0),
+        SyncScheduler::with_threads(64),
+    ] {
+        let run = scheduler.run(&topo, &UniformGossip, &sources, 9, &cfg);
+        assert_eq!(serial, run);
+    }
+}

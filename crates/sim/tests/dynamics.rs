@@ -59,7 +59,10 @@ impl MutationStream for ScriptStream {
 }
 
 fn schedulers() -> Vec<Box<dyn Scheduler>> {
-    vec![Box::new(SyncScheduler), Box::new(AsyncScheduler::default())]
+    vec![
+        Box::new(SyncScheduler::default()),
+        Box::new(AsyncScheduler::default()),
+    ]
 }
 
 fn run_dynamic(
@@ -114,7 +117,8 @@ fn sync_applies_mutations_at_the_boundary_opening_their_round() {
     // round 1 runs: node 1 is gone, the survivor covers the network, and
     // gossip is complete at round 0.
     let early = Script(vec![Script::depart(1023, 1)]);
-    let result = SyncScheduler.run_dynamic(&topo, &early, &AdvertGossip, &sources, 7, &cfg);
+    let result =
+        SyncScheduler::default().run_dynamic(&topo, &early, &AdvertGossip, &sources, 7, &cfg);
     assert!(result.completed);
     assert_eq!(result.rounds_to_completion, Some(0));
     assert_eq!(result.complete_nodes, 1);
@@ -122,7 +126,8 @@ fn sync_applies_mutations_at_the_boundary_opening_their_round() {
     // One tick later the departure belongs to round 2's window, so round
     // 1 still runs on the full line and completes gossip first.
     let late = Script(vec![Script::depart(1024, 1)]);
-    let result = SyncScheduler.run_dynamic(&topo, &late, &AdvertGossip, &sources, 7, &cfg);
+    let result =
+        SyncScheduler::default().run_dynamic(&topo, &late, &AdvertGossip, &sources, 7, &cfg);
     assert!(result.completed);
     assert_eq!(result.rounds_to_completion, Some(1));
     assert_eq!(result.complete_nodes, 2);

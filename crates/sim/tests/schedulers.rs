@@ -38,7 +38,7 @@ fn sync_scheduler_is_bit_for_bit_the_legacy_engine() {
             ..SimConfig::default()
         };
         let legacy = run(&topo, &AdvertGossip, &sources, 77, &cfg);
-        let via_trait = SyncScheduler.run(&topo, &AdvertGossip, &sources, 77, &cfg);
+        let via_trait = SyncScheduler::default().run(&topo, &AdvertGossip, &sources, 77, &cfg);
         assert_eq!(legacy.rounds_to_completion, via_trait.rounds_to_completion);
         assert_eq!(legacy.total_connections, via_trait.total_connections);
         assert_eq!(
