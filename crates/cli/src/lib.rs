@@ -1,1032 +1,273 @@
-//! Library half of the `gossip-sim` binary: argument parsing, experiment
-//! execution, and JSON serialization, kept out of `main.rs` so integration
-//! tests can drive the exact code path the binary runs.
+//! Library half of the `gossip-sim` binary: a thin flag-parsing front-end
+//! over the [`gossip_experiments`] crate, kept out of `main.rs` so
+//! integration tests can drive the exact code path the binary runs.
 //!
-//! Serialization is hand-rolled: the workspace is dependency-free by
-//! design (simulation state is flat integers, so a JSON writer is ~40
-//! lines), which keeps builds hermetic.
+//! The CLI owns **no** experiment knowledge: every `--key value` flag is
+//! one entry of the shared assignment vocabulary
+//! ([`gossip_experiments::ASSIGNMENTS`]) fed verbatim into a
+//! [`ScenarioBuilder`], and the flag section of [`usage`] is generated
+//! from the same table — so help text, the flag parser, spec files, and
+//! grid axes cannot diverge. Validation lives entirely in the builder's
+//! structured [`SpecError`](gossip_experiments::SpecError)s; this crate
+//! only formats them.
 
-use gossip_core::{RggGeometry, Rng, TimingConfig, Topology};
-use gossip_dynamics::{
-    Churn, CompositeDynamics, DynamicsModel, EdgeFading, RejoinPolicy, Waypoint,
-    DEFAULT_MEAN_DOWNTIME_ROUNDS, DEFAULT_SPEED_PER_ROUND,
+use gossip_experiments::{
+    join_errors, parse_spec, AssignmentDef, Axis, BenchScenario, Grid, ProtocolSpec, Scenario,
+    ScenarioBuilder, ASSIGNMENTS, DEFAULT_BENCH_ROUNDS,
 };
-use gossip_protocols::{by_name, PROTOCOL_NAMES};
-use gossip_sim::{random_sources, AsyncScheduler, Scheduler, SimConfig, SimResult, SyncScheduler};
 
-use std::time::Instant;
-
-/// Accepted `--topology` values. `random_geometric` is an alias for `rgg`
-/// so the name echoed in result JSON round-trips back into the CLI.
-pub const TOPOLOGY_NAMES: &[&str] = &[
-    "line",
-    "ring",
-    "grid",
-    "complete",
-    "rgg",
-    "random_geometric",
-];
-
-/// Accepted `--scheduler` values.
-pub const SCHEDULER_NAMES: &[&str] = &["sync", "async"];
-
-/// Accepted `--format` values.
-pub const FORMAT_NAMES: &[&str] = &["json", "csv"];
-
-/// Accepted `--rejoin` values.
-pub const REJOIN_NAMES: &[&str] = &["keep", "lose", "none"];
-
-pub const USAGE: &str = "gossip-sim: gossip experiments in the mobile telephone model
-
-USAGE:
-    gossip-sim [OPTIONS]
-    gossip-sim bench [BENCH OPTIONS]
-
-SUBCOMMANDS:
-    bench    time the synchronous engine for a fixed number of rounds and
-             report throughput (rounds/sec, node-events/sec) plus the
-             deterministic accounting totals as one JSON line; takes
-             --topology, --nodes, --protocol, --messages, --seed,
-             --threads, and --rounds <R> (round budget, default 64)
-
-OPTIONS:
-    --topology <line|ring|grid|complete|rgg>   topology family [default: ring]
-                                               (rgg = random_geometric)
-    --nodes <N>                                number of nodes [default: 100]
-    --protocol <uniform|advert>                gossip protocol [default: uniform]
-    --scheduler <sync|async>                   execution model: synchronized rounds
-                                               or event-driven virtual time [default: sync]
-    --messages <K>                             rumors to spread (>64 uses
-                                               hashed advertisement tags) [default: 1]
-    --seed <S>                                 RNG seed [default: 1]
-    --seeds <N>                                sweep N consecutive seeds starting at
-                                               --seed, one JSON line each [default: 1]
-    --max-rounds <R>                           round cap; the async scheduler reads it
-                                               as the equivalent virtual-time cap
-                                               [default: 100 + 60*N]
-    --threads <T>                              shard the synchronous round loop over T
-                                               worker threads (results are identical at
-                                               any thread count; capped at the machine's
-                                               available parallelism) [default: 1]
-    --drift <F>                                async: max relative clock drift,
-                                               0 <= F < 1 [default: 0.1]
-    --min-latency <T>                          async: min connect/transfer latency in
-                                               ticks (1024 ticks = 1 round) [default: 32]
-    --max-latency <T>                          async: max connect/transfer latency in
-                                               ticks [default: 256]
-    --churn-rate <F>                           nodes churn: depart with per-round
-                                               probability F (geometric lifetimes),
-                                               0 < F < 1 [default: off]
-    --rejoin <keep|lose|none>                  what a churned node remembers when it
-                                               rejoins; 'none' means departed nodes
-                                               never return (requires --churn-rate)
-                                               [default: keep]
-    --fade-prob <F>                            edges flap: fade with per-round
-                                               probability F, 0 < F < 1 [default: off]
-    --mobility                                 random-waypoint mobility: nodes walk the
-                                               unit square and re-derive radius edges
-                                               (rgg topology only; incompatible
-                                               with --fade-prob)
-    --format <json|csv>                        output format; csv emits a header row
-                                               plus one row per seed [default: json]
-    --history                                  include per-round stats in the JSON
-    --help                                     print this help
-";
-
-/// A fully parsed experiment configuration.
-#[derive(Clone, Debug, PartialEq)]
-pub struct ExperimentConfig {
-    pub topology: String,
-    pub nodes: usize,
-    pub protocol: String,
-    pub scheduler: String,
-    pub messages: usize,
-    pub seed: u64,
-    /// Number of consecutive seeds to sweep, starting at `seed`.
-    pub seeds: usize,
-    pub max_rounds: Option<usize>,
-    /// Worker threads for the synchronous round loop (>= 1; results are
-    /// thread-count-independent by construction).
-    pub threads: usize,
-    /// Max relative clock drift (async scheduler only).
-    pub drift: f64,
-    /// Min connection/transfer latency in ticks (async scheduler only).
-    pub min_latency: u64,
-    /// Max connection/transfer latency in ticks (async scheduler only).
-    pub max_latency: u64,
-    /// Per-round node departure probability; `None` disables churn.
-    pub churn_rate: Option<f64>,
-    /// What a churned node remembers when it rejoins.
-    pub rejoin: RejoinPolicy,
-    /// Per-round edge fade probability; `None` disables fading.
-    pub fade_prob: Option<f64>,
-    /// Random-waypoint mobility over the RGG embedding.
-    pub mobility: bool,
-    /// Output format: "json" or "csv".
-    pub format: String,
-    pub history: bool,
-}
-
-impl Default for ExperimentConfig {
-    fn default() -> Self {
-        let timing = TimingConfig::default();
-        ExperimentConfig {
-            topology: "ring".to_string(),
-            nodes: 100,
-            protocol: "uniform".to_string(),
-            scheduler: "sync".to_string(),
-            messages: 1,
-            seed: 1,
-            seeds: 1,
-            max_rounds: None,
-            threads: 1,
-            drift: timing.drift,
-            min_latency: timing.min_latency,
-            max_latency: timing.max_latency,
-            churn_rate: None,
-            rejoin: RejoinPolicy::Keep,
-            fade_prob: None,
-            mobility: false,
-            format: "json".to_string(),
-            history: false,
-        }
-    }
-}
-
-impl ExperimentConfig {
-    /// The async timing distributions implied by the CLI flags.
-    pub fn timing(&self) -> TimingConfig {
-        TimingConfig {
-            drift: self.drift,
-            min_latency: self.min_latency,
-            max_latency: self.max_latency,
-            ..TimingConfig::default()
-        }
-    }
-
-    /// The churn model implied by the CLI flags, if churn is enabled.
-    pub fn churn_model(&self) -> Option<Churn> {
-        self.churn_rate.map(|rate| Churn {
-            rate,
-            rejoin: self.rejoin,
-            mean_downtime: DEFAULT_MEAN_DOWNTIME_ROUNDS,
-        })
-    }
-
-    /// The fading model implied by the CLI flags, if fading is enabled.
-    pub fn fading_model(&self) -> Option<EdgeFading> {
-        self.fade_prob.map(|fade_prob| EdgeFading {
-            fade_prob,
-            mean_downtime: 1.0,
-        })
-    }
-
-    /// Does this experiment run over a mutating network?
-    pub fn is_dynamic(&self) -> bool {
-        self.churn_rate.is_some() || self.fade_prob.is_some() || self.mobility
-    }
-}
-
-/// Configuration of one `bench` invocation: time the synchronous engine
-/// over a fixed round budget rather than running to completion, so a
-/// 10^6-node topology benches in seconds even though its gossip would
-/// take hundreds of thousands of rounds to finish.
-#[derive(Clone, Debug, PartialEq)]
-pub struct BenchConfig {
-    pub topology: String,
-    pub nodes: usize,
-    pub protocol: String,
-    pub messages: usize,
-    pub seed: u64,
-    pub threads: usize,
-    /// Round budget: the engine runs exactly this many rounds (or fewer
-    /// if gossip completes first).
-    pub rounds: usize,
-}
-
-impl Default for BenchConfig {
-    fn default() -> Self {
-        BenchConfig {
-            topology: "ring".to_string(),
-            nodes: 1_000_000,
-            protocol: "advert".to_string(),
-            messages: 1,
-            seed: 1,
-            threads: 1,
-            rounds: 64,
-        }
-    }
-}
-
-/// Outcome of argument parsing: run an experiment, bench the engine, or
-/// print help.
-// One Command exists per process; boxing the config to shrink the enum
+/// Outcome of argument parsing: run a scenario sweep, expand and run a
+/// grid, bench the engine, or print help.
+// One Command exists per process; boxing the payloads to shrink the enum
 // would be indirection for its own sake.
 #[allow(clippy::large_enum_variant)]
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub enum Command {
-    Run(ExperimentConfig),
-    Bench(BenchConfig),
+    Run(Scenario),
+    Bench(BenchScenario),
+    /// A grid, already expanded into its validated cells (in the
+    /// documented expansion order).
+    Grid(Vec<Scenario>),
     Help,
 }
 
-/// Parse the arguments of the `bench` subcommand (everything after the
-/// literal `bench`).
-fn parse_bench_args(args: &[String]) -> Result<Command, String> {
-    let mut cfg = BenchConfig::default();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} requires a value"))
-        };
-        match arg.as_str() {
-            "--help" | "-h" => return Ok(Command::Help),
-            "--topology" => {
-                cfg.topology = value("--topology")?;
-                if !TOPOLOGY_NAMES.contains(&cfg.topology.as_str()) {
-                    return Err(format!(
-                        "unknown topology '{}' (expected one of {})",
-                        cfg.topology,
-                        TOPOLOGY_NAMES.join(", ")
-                    ));
-                }
-            }
-            "--protocol" => {
-                cfg.protocol = value("--protocol")?;
-                if !PROTOCOL_NAMES.contains(&cfg.protocol.as_str()) {
-                    return Err(format!(
-                        "unknown protocol '{}' (expected one of {})",
-                        cfg.protocol,
-                        PROTOCOL_NAMES.join(", ")
-                    ));
-                }
-            }
-            "--nodes" => {
-                cfg.nodes = parse_num(&value("--nodes")?, "--nodes")?;
-                if cfg.nodes == 0 {
-                    return Err("--nodes must be at least 1".to_string());
-                }
-            }
-            "--messages" => {
-                cfg.messages = parse_num(&value("--messages")?, "--messages")?;
-                if cfg.messages == 0 {
-                    return Err("--messages must be at least 1".to_string());
-                }
-            }
-            "--seed" => {
-                let raw = value("--seed")?;
-                cfg.seed = raw
-                    .parse::<u64>()
-                    .map_err(|_| format!("--seed: '{raw}' is not a non-negative integer"))?;
-            }
-            "--threads" => cfg.threads = parse_threads(&value("--threads")?)?,
-            "--rounds" => {
-                cfg.rounds = parse_num(&value("--rounds")?, "--rounds")?;
-                if cfg.rounds == 0 {
-                    return Err("--rounds must be at least 1".to_string());
-                }
-            }
-            other => return Err(format!("unknown bench argument '{other}' (try --help)")),
-        }
+/// Column where generated help text starts, matching the historical
+/// hand-written layout.
+const HELP_COL: usize = 48;
+
+/// The full help text. The OPTIONS and BENCH OPTIONS flag lines are
+/// generated from [`ASSIGNMENTS`]; only the framing prose is hand-written.
+pub fn usage() -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(
+        "gossip-sim: gossip experiments in the mobile telephone model
+
+USAGE:
+    gossip-sim [OPTIONS]
+    gossip-sim grid [GRID OPTIONS] [OPTIONS]
+    gossip-sim bench [BENCH OPTIONS]
+
+SUBCOMMANDS:
+    grid     expand topology \u{d7} protocol \u{d7} scheduler \u{d7} \u{2026} axes into a full
+             parameter grid and run every cell in one invocation, streaming
+             one output line per run; each cell's result is byte-identical
+             to the same scenario run standalone
+    bench    time the synchronous engine for a fixed number of rounds and
+             report throughput (rounds/sec, node-events/sec) plus the
+             deterministic accounting totals as one JSON line
+
+GRID OPTIONS:
+    --spec <FILE>                               spec file: [scenario] key = value base
+                                                assignments, [axis] key = v1, v2 sweep
+                                                axes (nesting order; last axis varies
+                                                fastest), [output] format/history
+    --axis <KEY=V1,V2,...>                      append one sweep axis (repeatable);
+                                                applied after the spec file's axes
+    plus every run option below as a base assignment shared by all cells
+    (overriding the spec file's [scenario] section)
+
+OPTIONS:
+",
+    );
+    for def in ASSIGNMENTS.iter().filter(|d| d.run) {
+        push_flag_lines(&mut out, def);
     }
-    Ok(Command::Bench(cfg))
+    out.push_str(&format!(
+        "    {:<width$}print this help\n",
+        "--help",
+        width = HELP_COL - 4
+    ));
+    out.push_str("\nBENCH OPTIONS:\n");
+    for def in ASSIGNMENTS.iter().filter(|d| d.bench) {
+        push_flag_lines(&mut out, def);
+    }
+    out
 }
 
-/// Parse and validate a `--threads` value: a positive integer (the cap at
-/// available parallelism happens at run time via [`effective_threads`]).
-fn parse_threads(raw: &str) -> Result<usize, String> {
-    let threads = parse_num(raw, "--threads")?;
-    if threads == 0 {
-        return Err(
-            "--threads 0 is meaningless: the round loop needs at least one worker".to_string(),
-        );
-    }
-    Ok(threads)
-}
-
-/// Clamp a requested thread count to the machine's available parallelism.
-/// Returns the effective count and, when clamping occurred, a warning for
-/// the user. Results never depend on the clamp — the engine is
-/// deterministic at any thread count — only throughput does.
-pub fn effective_threads(requested: usize) -> (usize, Option<String>) {
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if requested > available {
-        (
-            available,
-            Some(format!(
-                "--threads {requested} exceeds the machine's available parallelism; \
-                 capping at {available} (results are identical, only throughput changes)"
-            )),
-        )
+/// Render one assignment as aligned `    --key <METAVAR>   help` lines,
+/// with embedded help newlines becoming aligned continuation lines.
+fn push_flag_lines(out: &mut String, def: &AssignmentDef) {
+    let flag = match def.metavar {
+        Some(metavar) => format!("    --{} <{}>", def.key, metavar),
+        None => format!("    --{}", def.key),
+    };
+    let mut help_lines = def.help.lines();
+    let first = help_lines.next().unwrap_or("");
+    if flag.len() < HELP_COL {
+        out.push_str(&format!("{flag:<HELP_COL$}{first}\n"));
     } else {
-        (requested, None)
+        out.push_str(&flag);
+        out.push('\n');
+        out.push_str(&" ".repeat(HELP_COL));
+        out.push_str(first);
+        out.push('\n');
     }
+    for line in help_lines {
+        out.push_str(&" ".repeat(HELP_COL));
+        out.push_str(line);
+        out.push('\n');
+    }
+}
+
+/// Is this token the help flag?
+fn is_help(arg: &str) -> bool {
+    arg == "--help" || arg == "-h"
+}
+
+/// Look up a `--key` token in the assignment table, filtered to the
+/// subcommand's scope.
+fn lookup(arg: &str, scope: impl Fn(&AssignmentDef) -> bool) -> Option<&'static AssignmentDef> {
+    let key = arg.strip_prefix("--")?;
+    ASSIGNMENTS.iter().find(|def| def.key == key && scope(def))
+}
+
+/// Pull the flag's value from the argument stream: the next token for
+/// valued flags, the literal `true` for boolean switches.
+fn take_value<'a>(
+    def: &AssignmentDef,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Result<String, String> {
+    if def.metavar.is_none() {
+        return Ok("true".to_string());
+    }
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("--{} requires a value", def.key))
 }
 
 /// Parse CLI arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
-    if args.first().map(String::as_str) == Some("bench") {
+    if args.first().is_some_and(|a| a == "bench") {
         return parse_bench_args(&args[1..]);
     }
-    let mut cfg = ExperimentConfig::default();
-    let mut rejoin_given = false;
+    if args.first().is_some_and(|a| a == "grid") {
+        return parse_grid_args(&args[1..]);
+    }
+    let mut builder = ScenarioBuilder::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |flag: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{flag} requires a value"))
-        };
-        match arg.as_str() {
-            "--help" | "-h" => return Ok(Command::Help),
-            "--history" => cfg.history = true,
-            "--topology" => {
-                cfg.topology = value("--topology")?;
-                if !TOPOLOGY_NAMES.contains(&cfg.topology.as_str()) {
-                    return Err(format!(
-                        "unknown topology '{}' (expected one of {})",
-                        cfg.topology,
-                        TOPOLOGY_NAMES.join(", ")
-                    ));
-                }
-            }
-            "--protocol" => {
-                cfg.protocol = value("--protocol")?;
-                if !PROTOCOL_NAMES.contains(&cfg.protocol.as_str()) {
-                    return Err(format!(
-                        "unknown protocol '{}' (expected one of {})",
-                        cfg.protocol,
-                        PROTOCOL_NAMES.join(", ")
-                    ));
-                }
-            }
-            "--nodes" => {
-                cfg.nodes = parse_num(&value("--nodes")?, "--nodes")?;
-                if cfg.nodes == 0 {
-                    return Err("--nodes must be at least 1".to_string());
-                }
-            }
-            "--messages" => {
-                cfg.messages = parse_num(&value("--messages")?, "--messages")?;
-                if cfg.messages == 0 {
-                    return Err("--messages must be at least 1".to_string());
-                }
-            }
-            "--scheduler" => {
-                cfg.scheduler = value("--scheduler")?;
-                if !SCHEDULER_NAMES.contains(&cfg.scheduler.as_str()) {
-                    return Err(format!(
-                        "unknown scheduler '{}' (expected one of {})",
-                        cfg.scheduler,
-                        SCHEDULER_NAMES.join(", ")
-                    ));
-                }
-            }
-            "--seed" => {
-                let raw = value("--seed")?;
-                cfg.seed = raw
-                    .parse::<u64>()
-                    .map_err(|_| format!("--seed: '{raw}' is not a non-negative integer"))?;
-            }
-            "--seeds" => {
-                cfg.seeds = parse_num(&value("--seeds")?, "--seeds")?;
-                if cfg.seeds == 0 {
-                    return Err("--seeds must be at least 1".to_string());
-                }
-            }
-            "--max-rounds" => {
-                cfg.max_rounds = Some(parse_num(&value("--max-rounds")?, "--max-rounds")?)
-            }
-            "--threads" => cfg.threads = parse_threads(&value("--threads")?)?,
-            "--drift" => {
-                let raw = value("--drift")?;
-                cfg.drift = raw
-                    .parse::<f64>()
-                    .map_err(|_| format!("--drift: '{raw}' is not a number"))?;
-            }
-            "--min-latency" => {
-                cfg.min_latency = parse_num(&value("--min-latency")?, "--min-latency")? as u64;
-            }
-            "--max-latency" => {
-                cfg.max_latency = parse_num(&value("--max-latency")?, "--max-latency")? as u64;
-            }
-            "--churn-rate" => {
-                let raw = value("--churn-rate")?;
-                cfg.churn_rate = Some(
-                    raw.parse::<f64>()
-                        .map_err(|_| format!("--churn-rate: '{raw}' is not a number"))?,
-                );
-            }
-            "--rejoin" => {
-                rejoin_given = true;
-                let raw = value("--rejoin")?;
-                cfg.rejoin = match raw.as_str() {
-                    "keep" => RejoinPolicy::Keep,
-                    "lose" => RejoinPolicy::Lose,
-                    "none" => RejoinPolicy::Never,
-                    _ => {
-                        return Err(format!(
-                            "unknown rejoin policy '{raw}' (expected one of {})",
-                            REJOIN_NAMES.join(", ")
-                        ))
-                    }
-                };
-            }
-            "--fade-prob" => {
-                let raw = value("--fade-prob")?;
-                cfg.fade_prob = Some(
-                    raw.parse::<f64>()
-                        .map_err(|_| format!("--fade-prob: '{raw}' is not a number"))?,
-                );
-            }
-            "--mobility" => cfg.mobility = true,
-            "--format" => {
-                cfg.format = value("--format")?;
-                if !FORMAT_NAMES.contains(&cfg.format.as_str()) {
-                    return Err(format!(
-                        "unknown format '{}' (expected one of {})",
-                        cfg.format,
-                        FORMAT_NAMES.join(", ")
-                    ));
-                }
-            }
-            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        if is_help(arg) {
+            return Ok(Command::Help);
         }
+        let def = lookup(arg, |d| d.run)
+            .ok_or_else(|| format!("unknown argument '{arg}' (try --help)"))?;
+        let value = take_value(def, &mut it)?;
+        builder.set(def.key, &value);
     }
-    // One source of truth for timing ranges: the core validator that the
-    // async scheduler itself enforces.
-    cfg.timing()
-        .validate()
-        .map_err(|e| format!("invalid --drift/--min-latency/--max-latency: {e}"))?;
-    // Likewise for dynamics: the models' own validators decide what a
-    // usable rate is, so the CLI cannot admit a config the engine panics
-    // on (an explicit zero rate is rejected here, not silently ignored).
-    if let Some(churn) = cfg.churn_model() {
-        churn
-            .validate()
-            .map_err(|e| format!("invalid --churn-rate: {e}"))?;
-    } else if rejoin_given {
-        return Err("--rejoin requires --churn-rate".to_string());
-    }
-    if let Some(fading) = cfg.fading_model() {
-        fading
-            .validate()
-            .map_err(|e| format!("invalid --fade-prob: {e}"))?;
-    }
-    if cfg.mobility {
-        if !matches!(cfg.topology.as_str(), "rgg" | "random_geometric") {
-            return Err(format!(
-                "--mobility moves nodes of a random geometric graph; \
-                 it requires --topology rgg, not '{}'",
-                cfg.topology
-            ));
+    builder
+        .finish()
+        .map(Command::Run)
+        .map_err(|errors| join_errors(&errors))
+}
+
+/// Parse the arguments of the `bench` subcommand (everything after the
+/// literal `bench`). Bench shares the scenario vocabulary — restricted to
+/// the keys that affect the synchronous engine — plus the `--rounds`
+/// budget, and defaults to the 10^6-node advert ring the scale work
+/// targets.
+fn parse_bench_args(args: &[String]) -> Result<Command, String> {
+    let mut builder = ScenarioBuilder::new()
+        .nodes(1_000_000)
+        .protocol(ProtocolSpec::Advert);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if is_help(arg) {
+            return Ok(Command::Help);
         }
-        if cfg.fade_prob.is_some() {
-            return Err("--mobility rewires the edges that --fade-prob would flap; \
-                 pick one link-instability model"
-                .to_string());
+        let def = lookup(arg, |d| d.bench)
+            .ok_or_else(|| format!("unknown bench argument '{arg}' (try --help)"))?;
+        let value = take_value(def, &mut it)?;
+        builder.set(def.key, &value);
+    }
+    let rounds = builder.bench_rounds().unwrap_or(DEFAULT_BENCH_ROUNDS);
+    let scenario = builder.finish().map_err(|errors| join_errors(&errors))?;
+    Ok(Command::Bench(BenchScenario { scenario, rounds }))
+}
+
+/// Parse the arguments of the `grid` subcommand: an optional `--spec`
+/// file, repeatable `--axis key=v1,v2` declarations, and any run flags as
+/// base assignments overriding the spec file's `[scenario]` section.
+fn parse_grid_args(args: &[String]) -> Result<Command, String> {
+    let mut spec_path: Option<String> = None;
+    let mut cli_axes: Vec<Axis> = Vec::new();
+    let mut base: Vec<(&'static str, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if is_help(arg) {
+            return Ok(Command::Help);
         }
-    }
-    if cfg.format == "csv" && cfg.history {
-        return Err("--history emits nested per-round data, which is JSON-only".to_string());
-    }
-    if cfg.threads > 1 && cfg.scheduler == "async" {
-        return Err(
-            "--threads shards the synchronous round loop; the event-driven scheduler \
-             is inherently serial (use --scheduler sync)"
-                .to_string(),
-        );
-    }
-    Ok(Command::Run(cfg))
-}
-
-fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
-    s.parse()
-        .map_err(|_| format!("{flag}: '{s}' is not a non-negative integer"))
-}
-
-/// Build the topology named in the config. Randomized topologies draw from
-/// a stream forked off the experiment seed, so the whole experiment remains
-/// a pure function of the config.
-pub fn build_topology(cfg: &ExperimentConfig) -> Topology {
-    build_topology_with_geometry(cfg).0
-}
-
-/// [`build_topology`], also returning the RGG embedding for topologies
-/// that have one — the piece waypoint mobility needs. Same RNG
-/// consumption, same graph.
-pub fn build_topology_with_geometry(cfg: &ExperimentConfig) -> (Topology, Option<RggGeometry>) {
-    match cfg.topology.as_str() {
-        "line" => (Topology::line(cfg.nodes), None),
-        "ring" => (Topology::ring(cfg.nodes), None),
-        "grid" => (Topology::grid(cfg.nodes), None),
-        "complete" => (Topology::complete(cfg.nodes), None),
-        "rgg" | "random_geometric" => {
-            let (topo, geometry) = Topology::random_geometric_with_geometry(
-                cfg.nodes,
-                &mut Rng::new(cfg.seed ^ 0x7090),
-            );
-            (topo, Some(geometry))
+        if arg == "--spec" {
+            let path = it
+                .next()
+                .ok_or_else(|| "--spec requires a file path".to_string())?;
+            spec_path = Some(path.clone());
+            continue;
         }
-        other => unreachable!("parse_args admitted unknown topology '{other}'"),
+        if arg == "--axis" {
+            let raw = it
+                .next()
+                .ok_or_else(|| "--axis requires KEY=V1,V2,...".to_string())?;
+            let (key, values) = raw
+                .split_once('=')
+                .ok_or_else(|| format!("--axis '{raw}': expected KEY=V1,V2,..."))?;
+            cli_axes.push(Axis {
+                key: key.trim().to_string(),
+                values: values.split(',').map(|v| v.trim().to_string()).collect(),
+            });
+            continue;
+        }
+        let def = lookup(arg, |d| d.run)
+            .ok_or_else(|| format!("unknown grid argument '{arg}' (try --help)"))?;
+        let value = take_value(def, &mut it)?;
+        base.push((def.key, value));
     }
-}
 
-/// Build the dynamics model implied by the config: churn, fading, and
-/// mobility compose (any subset the validator admits), merged into one
-/// time-ordered mutation stream. `None` when the run is static.
-pub fn build_dynamics(
-    cfg: &ExperimentConfig,
-    geometry: Option<&RggGeometry>,
-) -> Option<Box<dyn DynamicsModel>> {
-    let mut parts: Vec<Box<dyn DynamicsModel>> = Vec::new();
-    if let Some(churn) = cfg.churn_model() {
-        parts.push(Box::new(churn));
-    }
-    if let Some(fading) = cfg.fading_model() {
-        parts.push(Box::new(fading));
-    }
-    if cfg.mobility {
-        let geometry = geometry
-            .expect("parse_args only admits --mobility with an RGG topology")
-            .clone();
-        parts.push(Box::new(Waypoint {
-            geometry,
-            speed: DEFAULT_SPEED_PER_ROUND,
-        }));
-    }
-    match parts.len() {
-        0 => None,
-        1 => parts.pop(),
-        _ => Some(Box::new(CompositeDynamics { parts })),
-    }
-}
-
-/// Build the scheduler named in the config. The thread count is clamped
-/// to available parallelism here ([`effective_threads`]); callers wanting
-/// to surface the clamp warning call `effective_threads` themselves.
-pub fn build_scheduler(cfg: &ExperimentConfig) -> Box<dyn Scheduler> {
-    match cfg.scheduler.as_str() {
-        "sync" => Box::new(SyncScheduler::with_threads(
-            effective_threads(cfg.threads).0,
-        )),
-        "async" => Box::new(AsyncScheduler {
-            timing: cfg.timing(),
-        }),
-        other => unreachable!("parse_args admitted unknown scheduler '{other}'"),
-    }
-}
-
-/// Run the configured experiment end to end (ignoring the sweep width;
-/// see [`run_sweep`] for multi-seed runs). Static configs take the
-/// dynamics-free fast path, whose output is bit-for-bit that of
-/// pre-dynamics builds.
-pub fn run_experiment(cfg: &ExperimentConfig) -> SimResult {
-    let (topology, geometry) = build_topology_with_geometry(cfg);
-    let protocol = by_name(&cfg.protocol).expect("parse_args validated the protocol name");
-    let scheduler = build_scheduler(cfg);
-    let sources = random_sources(
-        cfg.nodes,
-        cfg.messages,
-        &mut Rng::new(cfg.seed ^ 0x50_0c_e5),
-    );
-    let sim_cfg = SimConfig {
-        max_rounds: cfg.max_rounds.unwrap_or(100 + 60 * cfg.nodes),
-        record_rounds: cfg.history,
+    let mut grid = match spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("--spec {path}: cannot read spec file: {e}"))?;
+            parse_spec(&text).map_err(|errors| join_errors(&errors))?
+        }
+        None => Grid::new(ScenarioBuilder::new()),
     };
-    match build_dynamics(cfg, geometry.as_ref()) {
-        None => scheduler.run(&topology, protocol.as_ref(), &sources, cfg.seed, &sim_cfg),
-        Some(dynamics) => scheduler.run_dynamic(
-            &topology,
-            dynamics.as_ref(),
-            protocol.as_ref(),
-            &sources,
-            cfg.seed,
-            &sim_cfg,
-        ),
+    for (key, value) in &base {
+        grid.base.set(key, value);
     }
-}
-
-/// Run the configured sweep lazily: `cfg.seeds` consecutive seeds
-/// starting at `cfg.seed`, each a fully independent experiment
-/// (randomized topologies and source placement are re-drawn per seed),
-/// yielded in seed order as each run finishes — so consumers can stream
-/// one JSON line per seed without buffering the whole sweep.
-pub fn run_sweep_iter(cfg: &ExperimentConfig) -> impl Iterator<Item = SimResult> + '_ {
-    (0..cfg.seeds as u64).map(move |offset| {
-        let mut one = cfg.clone();
-        one.seed = cfg.seed.wrapping_add(offset);
-        run_experiment(&one)
-    })
-}
-
-/// [`run_sweep_iter`], collected.
-pub fn run_sweep(cfg: &ExperimentConfig) -> Vec<SimResult> {
-    run_sweep_iter(cfg).collect()
-}
-
-/// Execution-side metadata of one run, reported next to the (seed-
-/// deterministic) [`SimResult`]: the worker-thread count actually used
-/// and the wall-clock time the run took. Kept out of `SimResult` so
-/// result equality stays meaningful for determinism tests — two runs are
-/// "the same run" regardless of how fast the hardware was that day.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct RunMeta {
-    /// Worker threads after the [`effective_threads`] clamp.
-    pub threads: usize,
-    /// Wall-clock duration of the run, in milliseconds.
-    pub wall_ms: u64,
-}
-
-/// [`run_sweep_iter`], with per-run wall-clock timing. This is what the
-/// binary streams: each line carries the deterministic result plus the
-/// `threads`/`wall_ms` execution metadata.
-pub fn run_sweep_timed_iter(
-    cfg: &ExperimentConfig,
-) -> impl Iterator<Item = (SimResult, RunMeta)> + '_ {
-    let threads = effective_threads(cfg.threads).0;
-    (0..cfg.seeds as u64).map(move |offset| {
-        let mut one = cfg.clone();
-        one.seed = cfg.seed.wrapping_add(offset);
-        let started = Instant::now();
-        let result = run_experiment(&one);
-        let meta = RunMeta {
-            threads,
-            wall_ms: started.elapsed().as_millis() as u64,
-        };
-        (result, meta)
-    })
-}
-
-/// What one `bench` invocation measured.
-#[derive(Clone, Debug, PartialEq)]
-pub struct BenchReport {
-    pub topology: String,
-    pub nodes: usize,
-    pub protocol: String,
-    pub messages: usize,
-    pub seed: u64,
-    /// Worker threads after the [`effective_threads`] clamp.
-    pub threads: usize,
-    /// The configured round budget.
-    pub round_budget: usize,
-    /// Rounds the engine actually executed (< budget iff gossip
-    /// completed early).
-    pub rounds_executed: usize,
-    pub completed: bool,
-    /// Time to build the topology (excluded from throughput).
-    pub build_ms: u64,
-    /// Wall-clock time of the simulation itself.
-    pub wall_ms: u64,
-    /// Simulated rounds per second of wall time.
-    pub rounds_per_sec: f64,
-    /// `nodes × rounds` per second of wall time — the per-node sweep
-    /// throughput, comparable across topology sizes.
-    pub node_events_per_sec: f64,
-    /// Deterministic accounting totals: any serial-vs-parallel (or
-    /// build-to-build) divergence shows up as a mismatch here.
-    pub total_connections: usize,
-    pub productive_connections: usize,
-    pub complete_nodes: usize,
-}
-
-/// Run one engine benchmark: build the topology (timed separately), run
-/// the synchronous scheduler for the configured round budget, and report
-/// throughput plus the deterministic accounting totals.
-pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
-    let threads = effective_threads(cfg.threads).0;
-    let building = Instant::now();
-    let exp = ExperimentConfig {
-        topology: cfg.topology.clone(),
-        nodes: cfg.nodes,
-        protocol: cfg.protocol.clone(),
-        messages: cfg.messages,
-        seed: cfg.seed,
-        threads,
-        ..ExperimentConfig::default()
-    };
-    let topology = build_topology(&exp);
-    let build_ms = building.elapsed().as_millis() as u64;
-
-    let protocol = by_name(&cfg.protocol).expect("bench parser validated the protocol name");
-    let sources = random_sources(
-        cfg.nodes,
-        cfg.messages,
-        &mut Rng::new(cfg.seed ^ 0x50_0c_e5),
-    );
-    let sim_cfg = SimConfig {
-        max_rounds: cfg.rounds,
-        record_rounds: false,
-    };
-    let scheduler = SyncScheduler::with_threads(threads);
-    let running = Instant::now();
-    let result = scheduler.run(&topology, protocol.as_ref(), &sources, cfg.seed, &sim_cfg);
-    let wall = running.elapsed();
-
-    let secs = wall.as_secs_f64().max(1e-9);
-    BenchReport {
-        topology: result.topology.clone(),
-        nodes: cfg.nodes,
-        protocol: cfg.protocol.clone(),
-        messages: cfg.messages,
-        seed: cfg.seed,
-        threads,
-        round_budget: cfg.rounds,
-        rounds_executed: result.rounds_executed,
-        completed: result.completed,
-        build_ms,
-        wall_ms: wall.as_millis() as u64,
-        rounds_per_sec: result.rounds_executed as f64 / secs,
-        node_events_per_sec: (result.rounds_executed as f64 * cfg.nodes as f64) / secs,
-        total_connections: result.total_connections,
-        productive_connections: result.productive_connections,
-        complete_nodes: result.complete_nodes,
+    for axis in cli_axes {
+        grid.push_axis(axis);
     }
-}
-
-/// Serialize a bench report as one JSON line, shaped for appending to
-/// `BENCH_*.json` trajectory files.
-pub fn bench_to_json(report: &BenchReport) -> String {
-    let mut out = String::with_capacity(512);
-    out.push('{');
-    json_str(&mut out, "bench", "sync_round_loop");
-    out.push(',');
-    json_str(&mut out, "topology", &report.topology);
-    out.push(',');
-    json_num(&mut out, "nodes", report.nodes as u64);
-    out.push(',');
-    json_str(&mut out, "protocol", &report.protocol);
-    out.push(',');
-    json_num(&mut out, "messages", report.messages as u64);
-    out.push(',');
-    json_num(&mut out, "seed", report.seed);
-    out.push(',');
-    json_num(&mut out, "threads", report.threads as u64);
-    out.push(',');
-    json_num(&mut out, "round_budget", report.round_budget as u64);
-    out.push(',');
-    json_num(&mut out, "rounds_executed", report.rounds_executed as u64);
-    out.push(',');
-    out.push_str(&format!("\"completed\":{}", report.completed));
-    out.push(',');
-    json_num(&mut out, "build_ms", report.build_ms);
-    out.push(',');
-    json_num(&mut out, "wall_ms", report.wall_ms);
-    out.push(',');
-    out.push_str(&format!(
-        "\"rounds_per_sec\":{:.2},\"node_events_per_sec\":{:.2}",
-        report.rounds_per_sec, report.node_events_per_sec
-    ));
-    out.push(',');
-    json_num(
-        &mut out,
-        "total_connections",
-        report.total_connections as u64,
-    );
-    out.push(',');
-    json_num(
-        &mut out,
-        "productive_connections",
-        report.productive_connections as u64,
-    );
-    out.push(',');
-    json_num(&mut out, "complete_nodes", report.complete_nodes as u64);
-    out.push('}');
-    out
-}
-
-/// Serialize a result as a single JSON object.
-pub fn to_json(result: &SimResult) -> String {
-    let mut out = String::with_capacity(512);
-    out.push('{');
-    json_str(&mut out, "topology", &result.topology);
-    out.push(',');
-    json_str(&mut out, "protocol", &result.protocol);
-    out.push(',');
-    json_str(&mut out, "scheduler", &result.scheduler);
-    out.push(',');
-    json_num(&mut out, "nodes", result.nodes as u64);
-    out.push(',');
-    json_num(&mut out, "messages", result.messages as u64);
-    out.push(',');
-    json_num(&mut out, "seed", result.seed);
-    out.push(',');
-    out.push_str(&format!("\"completed\":{}", result.completed));
-    out.push(',');
-    match result.rounds_to_completion {
-        Some(r) => json_num(&mut out, "rounds_to_completion", r as u64),
-        None => out.push_str("\"rounds_to_completion\":null"),
-    }
-    out.push(',');
-    json_num(&mut out, "rounds_executed", result.rounds_executed as u64);
-    out.push(',');
-    json_num(&mut out, "virtual_time", result.virtual_time);
-    out.push(',');
-    match result.virtual_time_to_completion {
-        Some(t) => json_num(&mut out, "virtual_time_to_completion", t),
-        None => out.push_str("\"virtual_time_to_completion\":null"),
-    }
-    out.push(',');
-    json_num(
-        &mut out,
-        "total_connections",
-        result.total_connections as u64,
-    );
-    out.push(',');
-    json_num(
-        &mut out,
-        "productive_connections",
-        result.productive_connections as u64,
-    );
-    out.push(',');
-    json_num(
-        &mut out,
-        "wasted_connections",
-        result.wasted_connections as u64,
-    );
-    out.push(',');
-    json_num(&mut out, "complete_nodes", result.complete_nodes as u64);
-    if let Some(d) = &result.dynamics {
-        out.push_str(",\"dynamics\":{");
-        json_str(&mut out, "model", &d.model);
-        out.push(',');
-        json_num(&mut out, "departures", d.departures as u64);
-        out.push(',');
-        json_num(&mut out, "rejoins", d.rejoins as u64);
-        out.push(',');
-        json_num(&mut out, "edge_downs", d.edge_downs as u64);
-        out.push(',');
-        json_num(&mut out, "edge_ups", d.edge_ups as u64);
-        out.push(',');
-        json_num(&mut out, "rewires", d.rewires as u64);
-        out.push(',');
-        json_num(
-            &mut out,
-            "severed_connections",
-            d.severed_connections as u64,
-        );
-        out.push(',');
-        json_num(&mut out, "peak_alive", d.peak_alive as u64);
-        out.push(',');
-        json_num(&mut out, "min_alive", d.min_alive as u64);
-        out.push(',');
-        json_num(&mut out, "final_alive", d.final_alive as u64);
-        out.push_str(",\"coverage_timeline\":[");
-        for (i, p) in d.coverage_timeline.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push('{');
-            json_num(&mut out, "time", p.time);
-            out.push(',');
-            json_num(&mut out, "alive", p.alive as u64);
-            out.push(',');
-            json_num(&mut out, "informed_alive", p.informed_alive as u64);
-            out.push('}');
-        }
-        out.push_str("]}");
-    }
-    if let Some(rounds) = &result.rounds {
-        out.push_str(",\"rounds\":[");
-        for (i, r) in rounds.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push('{');
-            json_num(&mut out, "round", r.round as u64);
-            out.push(',');
-            json_num(&mut out, "connections", r.connections as u64);
-            out.push(',');
-            json_num(&mut out, "productive", r.productive as u64);
-            out.push(',');
-            json_num(&mut out, "complete_nodes", r.complete_nodes as u64);
-            out.push(',');
-            json_num(&mut out, "messages_held", r.messages_held as u64);
-            out.push('}');
-        }
-        out.push(']');
-    }
-    out.push('}');
-    out
-}
-
-/// [`to_json`], extended with the execution metadata the binary surfaces
-/// on every sweep line: the effective thread count and wall-clock
-/// milliseconds. Kept out of [`to_json`] so byte-for-byte regression
-/// pins on the deterministic result stay timing-independent.
-pub fn to_json_timed(result: &SimResult, meta: &RunMeta) -> String {
-    let mut out = to_json(result);
-    out.pop(); // the closing brace
-    out.push(',');
-    json_num(&mut out, "threads", meta.threads as u64);
-    out.push(',');
-    json_num(&mut out, "wall_ms", meta.wall_ms);
-    out.push('}');
-    out
-}
-
-/// The header row for `--format csv`. The column set is fixed — dynamics
-/// columns are simply empty on static runs — so sweep outputs from
-/// different configs concatenate and load uniformly in plotting tools.
-pub fn csv_header() -> &'static str {
-    "topology,protocol,scheduler,nodes,messages,seed,completed,\
-     rounds_to_completion,rounds_executed,virtual_time,\
-     virtual_time_to_completion,total_connections,productive_connections,\
-     wasted_connections,complete_nodes,dynamics_model,departures,rejoins,\
-     edge_downs,edge_ups,rewires,severed_connections,peak_alive,min_alive,\
-     final_alive,threads,wall_ms"
-}
-
-/// Serialize one result as a CSV row matching [`csv_header`]. Absent
-/// values (an uncompleted run's completion columns, dynamics columns of a
-/// static run) serialize as empty cells. Names are ASCII identifiers, so
-/// no quoting is needed.
-pub fn to_csv_row(result: &SimResult, meta: &RunMeta) -> String {
-    fn opt(v: Option<u64>) -> String {
-        v.map(|v| v.to_string()).unwrap_or_default()
-    }
-    let d = result.dynamics.as_ref();
-    let mut fields: Vec<String> = vec![
-        result.topology.clone(),
-        result.protocol.clone(),
-        result.scheduler.clone(),
-        result.nodes.to_string(),
-        result.messages.to_string(),
-        result.seed.to_string(),
-        result.completed.to_string(),
-        opt(result.rounds_to_completion.map(|r| r as u64)),
-        result.rounds_executed.to_string(),
-        result.virtual_time.to_string(),
-        opt(result.virtual_time_to_completion),
-        result.total_connections.to_string(),
-        result.productive_connections.to_string(),
-        result.wasted_connections.to_string(),
-        result.complete_nodes.to_string(),
-    ];
-    fields.push(d.map(|d| d.model.clone()).unwrap_or_default());
-    for value in [
-        d.map(|d| d.departures),
-        d.map(|d| d.rejoins),
-        d.map(|d| d.edge_downs),
-        d.map(|d| d.edge_ups),
-        d.map(|d| d.rewires),
-        d.map(|d| d.severed_connections),
-        d.map(|d| d.peak_alive),
-        d.map(|d| d.min_alive),
-        d.map(|d| d.final_alive),
-    ] {
-        fields.push(opt(value.map(|v| v as u64)));
-    }
-    fields.push(meta.threads.to_string());
-    fields.push(meta.wall_ms.to_string());
-    fields.join(",")
-}
-
-fn json_str(out: &mut String, key: &str, value: &str) {
-    // Topology/protocol names are ASCII identifiers; escape the JSON
-    // specials anyway so the writer is safe for future string fields.
-    out.push('"');
-    out.push_str(key);
-    out.push_str("\":\"");
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn json_num(out: &mut String, key: &str, value: u64) {
-    out.push('"');
-    out.push_str(key);
-    out.push_str("\":");
-    out.push_str(&value.to_string());
+    // Expand here, once: every axis and cell error exits before any
+    // output is produced, and the binary runs exactly the cells the
+    // parser validated.
+    let scenarios = grid.expand().map_err(|e| e.to_string())?;
+    Ok(Command::Grid(scenarios))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gossip_dynamics::RejoinPolicy;
+    use gossip_experiments::{OutputFormat, SchedulerSpec, TopologySpec};
 
     fn parse(args: &[&str]) -> Result<Command, String> {
         parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
-    #[test]
-    fn defaults_when_no_args() {
-        assert_eq!(parse(&[]), Ok(Command::Run(ExperimentConfig::default())));
+    fn parse_run(args: &[&str]) -> Scenario {
+        match parse(args) {
+            Ok(Command::Run(scenario)) => scenario,
+            other => panic!("expected Run, got {other:?}"),
+        }
     }
 
     #[test]
-    fn full_flag_set_parses() {
-        let cmd = parse(&[
+    fn defaults_when_no_args() {
+        assert_eq!(parse_run(&[]), Scenario::default());
+    }
+
+    #[test]
+    fn full_flag_set_parses_into_typed_specs() {
+        let scenario = parse_run(&[
             "--topology",
             "grid",
             "--nodes",
@@ -1040,18 +281,14 @@ mod tests {
             "--max-rounds",
             "1000",
             "--history",
-        ])
-        .unwrap();
-        let Command::Run(cfg) = cmd else {
-            panic!("expected Run");
-        };
-        assert_eq!(cfg.topology, "grid");
-        assert_eq!(cfg.nodes, 500);
-        assert_eq!(cfg.protocol, "advert");
-        assert_eq!(cfg.messages, 8);
-        assert_eq!(cfg.seed, 42);
-        assert_eq!(cfg.max_rounds, Some(1000));
-        assert!(cfg.history);
+        ]);
+        assert_eq!(scenario.topology, TopologySpec::Grid);
+        assert_eq!(scenario.nodes, 500);
+        assert_eq!(scenario.protocol, ProtocolSpec::Advert);
+        assert_eq!(scenario.messages, 8);
+        assert_eq!(scenario.seed, 42);
+        assert_eq!(scenario.max_rounds, Some(1000));
+        assert!(scenario.output.history);
     }
 
     #[test]
@@ -1072,34 +309,47 @@ mod tests {
     }
 
     #[test]
+    fn errors_accumulate_rather_than_stopping_at_the_first() {
+        let message = parse(&["--nodes", "0", "--churn-rate", "2.0"]).unwrap_err();
+        assert!(message.contains("nodes"), "{message}");
+        assert!(message.contains("churn"), "{message}");
+    }
+
+    #[test]
     fn dynamics_flags_parse() {
-        let cmd = parse(&[
+        let scenario = parse_run(&[
             "--churn-rate",
             "0.2",
             "--rejoin",
             "lose",
             "--fade-prob",
             "0.05",
-        ])
-        .unwrap();
-        let Command::Run(cfg) = cmd else {
-            panic!("expected Run");
-        };
-        assert_eq!(cfg.churn_rate, Some(0.2));
-        assert_eq!(cfg.rejoin, RejoinPolicy::Lose);
-        assert_eq!(cfg.fade_prob, Some(0.05));
-        assert!(cfg.is_dynamic());
-        assert!(!ExperimentConfig::default().is_dynamic());
+        ]);
+        let churn = scenario.dynamics.churn.expect("churn enabled");
+        assert_eq!(churn.rate, 0.2);
+        assert_eq!(churn.rejoin, RejoinPolicy::Lose);
+        assert_eq!(scenario.dynamics.fade_prob, Some(0.05));
+        assert!(scenario.is_dynamic());
+        assert!(!Scenario::default().is_dynamic());
 
-        let Command::Run(cfg) = parse(&["--topology", "rgg", "--mobility"]).unwrap() else {
-            panic!("expected Run");
-        };
-        assert!(cfg.mobility && cfg.is_dynamic());
+        let scenario = parse_run(&["--topology", "rgg", "--mobility"]);
+        assert!(scenario.dynamics.mobility && scenario.is_dynamic());
 
-        let Command::Run(cfg) = parse(&["--format", "csv"]).unwrap() else {
-            panic!("expected Run");
-        };
-        assert_eq!(cfg.format, "csv");
+        let scenario = parse_run(&["--format", "csv"]);
+        assert_eq!(scenario.output.format, OutputFormat::Csv);
+    }
+
+    #[test]
+    fn radius_flag_is_rgg_only() {
+        let scenario = parse_run(&["--topology", "rgg", "--radius", "0.2"]);
+        assert_eq!(scenario.topology, TopologySpec::Rgg { radius: Some(0.2) });
+        // The alias normalizes at parse time and still takes a radius.
+        let aliased = parse_run(&["--topology", "random_geometric", "--radius", "0.2"]);
+        assert_eq!(aliased.topology, scenario.topology);
+        assert!(parse(&["--radius", "0.2"]).is_err(), "ring has no radius");
+        assert!(parse(&["--topology", "rgg", "--radius", "0"]).is_err());
+        assert!(parse(&["--topology", "rgg", "--radius", "-1"]).is_err());
+        assert!(parse(&["--topology", "rgg", "--radius", "wide"]).is_err());
     }
 
     #[test]
@@ -1128,40 +378,8 @@ mod tests {
     }
 
     #[test]
-    fn csv_rows_match_the_header_shape() {
-        let cfg = parse_run_cfg(&["--nodes", "24", "--seeds", "1"]);
-        let result = run_experiment(&cfg);
-        let columns = csv_header().split(',').count();
-        let meta = RunMeta {
-            threads: 1,
-            wall_ms: 3,
-        };
-        let row = to_csv_row(&result, &meta);
-        assert_eq!(row.split(',').count(), columns);
-        assert!(!row.contains('\n'));
-        // Static runs leave every dynamics cell empty.
-        // Ten empty dynamics cells, then the threads/wall_ms metadata.
-        assert!(
-            row.ends_with(",,,,,,,,,,1,3"),
-            "static dynamics cells: {row}"
-        );
-
-        let cfg = parse_run_cfg(&["--nodes", "24", "--churn-rate", "0.1"]);
-        let row = to_csv_row(&run_experiment(&cfg), &meta);
-        assert_eq!(row.split(',').count(), columns);
-        assert!(row.contains(",churn,"), "model cell populated: {row}");
-    }
-
-    fn parse_run_cfg(args: &[&str]) -> ExperimentConfig {
-        match parse(args) {
-            Ok(Command::Run(cfg)) => cfg,
-            other => panic!("expected Run, got {other:?}"),
-        }
-    }
-
-    #[test]
     fn scheduler_and_timing_flags_parse() {
-        let cmd = parse(&[
+        let scenario = parse_run(&[
             "--scheduler",
             "async",
             "--seeds",
@@ -1172,28 +390,34 @@ mod tests {
             "10",
             "--max-latency",
             "500",
-        ])
-        .unwrap();
-        let Command::Run(cfg) = cmd else {
-            panic!("expected Run");
+        ]);
+        assert_eq!(scenario.seeds, 8);
+        let SchedulerSpec::Async { timing } = scenario.scheduler else {
+            panic!("expected the async scheduler");
         };
-        assert_eq!(cfg.scheduler, "async");
-        assert_eq!(cfg.seeds, 8);
-        assert_eq!(cfg.drift, 0.25);
-        assert_eq!(cfg.min_latency, 10);
-        assert_eq!(cfg.max_latency, 500);
+        assert_eq!(timing.drift, 0.25);
+        assert_eq!(timing.min_latency, 10);
+        assert_eq!(timing.max_latency, 500);
     }
 
     #[test]
     fn help_flag_wins() {
-        assert_eq!(parse(&["--nodes", "5", "--help"]), Ok(Command::Help));
+        assert!(matches!(
+            parse(&["--nodes", "5", "--help"]),
+            Ok(Command::Help)
+        ));
+        assert!(matches!(parse(&["bench", "--help"]), Ok(Command::Help)));
+        assert!(matches!(parse(&["grid", "--help"]), Ok(Command::Help)));
     }
 
     #[test]
     fn threads_flag_parses_and_is_validated() {
-        let cfg = parse_run_cfg(&["--threads", "4"]);
-        assert_eq!(cfg.threads, 4);
-        assert_eq!(ExperimentConfig::default().threads, 1);
+        let scenario = parse_run(&["--threads", "4"]);
+        assert_eq!(scenario.scheduler, SchedulerSpec::Sync { threads: 4 });
+        assert_eq!(
+            Scenario::default().scheduler,
+            SchedulerSpec::Sync { threads: 1 }
+        );
         assert!(parse(&["--threads", "0"]).is_err(), "zero workers rejected");
         assert!(parse(&["--threads", "many"]).is_err());
         assert!(
@@ -1205,21 +429,15 @@ mod tests {
     }
 
     #[test]
-    fn effective_threads_caps_with_a_warning() {
-        let (one, none) = effective_threads(1);
-        assert_eq!(one, 1);
-        assert!(none.is_none(), "1 thread never needs capping");
-        let (capped, warning) = effective_threads(usize::MAX);
-        assert!(capped >= 1);
-        assert!(warning.is_some(), "absurd requests warn");
-    }
-
-    #[test]
     fn bench_subcommand_parses() {
-        let cmd = parse(&["bench"]).unwrap();
-        assert_eq!(cmd, Command::Bench(BenchConfig::default()));
+        let Ok(Command::Bench(bench)) = parse(&["bench"]) else {
+            panic!("expected Bench");
+        };
+        assert_eq!(bench.rounds, 64);
+        assert_eq!(bench.scenario.nodes, 1_000_000);
+        assert_eq!(bench.scenario.protocol, ProtocolSpec::Advert);
 
-        let Command::Bench(cfg) = parse(&[
+        let Ok(Command::Bench(bench)) = parse(&[
             "bench",
             "--topology",
             "grid",
@@ -1233,18 +451,16 @@ mod tests {
             "16",
             "--seed",
             "9",
-        ])
-        .unwrap() else {
+        ]) else {
             panic!("expected Bench");
         };
-        assert_eq!(cfg.topology, "grid");
-        assert_eq!(cfg.nodes, 5000);
-        assert_eq!(cfg.protocol, "uniform");
-        assert_eq!(cfg.threads, 2);
-        assert_eq!(cfg.rounds, 16);
-        assert_eq!(cfg.seed, 9);
+        assert_eq!(bench.scenario.topology, TopologySpec::Grid);
+        assert_eq!(bench.scenario.nodes, 5000);
+        assert_eq!(bench.scenario.protocol, ProtocolSpec::Uniform);
+        assert_eq!(bench.scenario.scheduler, SchedulerSpec::Sync { threads: 2 });
+        assert_eq!(bench.rounds, 16);
+        assert_eq!(bench.scenario.seed, 9);
 
-        assert_eq!(parse(&["bench", "--help"]), Ok(Command::Help));
         assert!(parse(&["bench", "--rounds", "0"]).is_err());
         assert!(parse(&["bench", "--threads", "0"]).is_err());
         assert!(parse(&["bench", "--topology", "torus"]).is_err());
@@ -1252,27 +468,88 @@ mod tests {
             parse(&["bench", "--seeds", "4"]).is_err(),
             "sweep flags do not apply to bench"
         );
+        assert!(
+            parse(&["--rounds", "9"]).is_err(),
+            "the round budget is bench-only"
+        );
     }
 
     #[test]
-    fn timed_json_appends_execution_metadata() {
-        let cfg = parse_run_cfg(&["--nodes", "16"]);
-        let result = run_experiment(&cfg);
-        let meta = RunMeta {
-            threads: 3,
-            wall_ms: 12,
+    fn grid_subcommand_parses_axes_and_base_flags() {
+        let Ok(Command::Grid(cells)) = parse(&[
+            "grid",
+            "--nodes",
+            "40",
+            "--seed",
+            "3",
+            "--axis",
+            "topology=ring,grid",
+            "--axis",
+            "protocol=uniform,advert",
+        ]) else {
+            panic!("expected Grid");
         };
-        let timed = to_json_timed(&result, &meta);
-        assert!(timed.ends_with(",\"threads\":3,\"wall_ms\":12}"), "{timed}");
-        // The deterministic prefix is exactly the untimed serialization.
-        let untimed = to_json(&result);
-        assert!(timed.starts_with(&untimed[..untimed.len() - 1]));
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|s| s.nodes == 40 && s.seed == 3));
+
+        assert!(parse(&["grid", "--axis", "nonsense"]).is_err());
+        assert!(parse(&["grid", "--axis", "warp=1,2"]).is_err());
+        assert!(parse(&["grid", "--axis", "topology=torus"]).is_err());
+        assert!(parse(&["grid", "--spec", "/nonexistent/file.spec"]).is_err());
+        assert!(parse(&["grid", "--seeds"]).is_err());
     }
 
     #[test]
-    fn json_escapes_specials() {
-        let mut out = String::new();
-        json_str(&mut out, "k", "a\"b\\c\nd");
-        assert_eq!(out, r#""k":"a\"b\\c\nd""#);
+    fn usage_is_generated_from_the_assignment_table() {
+        let usage = usage();
+        // Every run/bench key appears as a flag line.
+        for def in ASSIGNMENTS {
+            assert!(
+                usage.contains(&format!("--{}", def.key)),
+                "usage missing --{}",
+                def.key
+            );
+        }
+        // Conversely, every --flag token in the help is either a table
+        // key or one of the literal subcommand/help flags — so the help
+        // can never advertise a flag the parser rejects.
+        for token in usage.split_whitespace() {
+            let Some(key) = token.strip_prefix("--") else {
+                continue;
+            };
+            let known =
+                ASSIGNMENTS.iter().any(|d| d.key == key) || ["help", "spec", "axis"].contains(&key);
+            assert!(known, "usage advertises unknown flag --{key}");
+        }
+        // And every run-scoped flag round-trips through the parser with a
+        // representative value.
+        let sample = |def: &AssignmentDef| -> Vec<String> {
+            let flag = format!("--{}", def.key);
+            match def.metavar {
+                None => vec![flag],
+                Some(_) => {
+                    let value = match def.key {
+                        "topology" => "rgg",
+                        "protocol" => "advert",
+                        "scheduler" => "sync",
+                        "rejoin" => "keep",
+                        "format" => "json",
+                        "drift" | "radius" | "churn-rate" | "fade-prob" | "refresh-jitter" => "0.1",
+                        "min-latency" | "max-latency" => "100",
+                        _ => "3",
+                    };
+                    vec![flag, value.to_string()]
+                }
+            }
+        };
+        for def in ASSIGNMENTS.iter().filter(|d| d.run) {
+            let mut args: Vec<String> = vec!["--topology".into(), "rgg".into()];
+            if def.key == "rejoin" {
+                args.extend(["--churn-rate".into(), "0.1".into()]);
+            }
+            args.extend(sample(def));
+            let parsed = parse_args(&args);
+            assert!(parsed.is_ok(), "--{} failed to parse: {parsed:?}", def.key);
+        }
     }
 }

@@ -1,47 +1,57 @@
-use gossip_cli::{
-    bench_to_json, csv_header, effective_threads, parse_args, run_bench, run_sweep_timed_iter,
-    to_csv_row, to_json_timed, Command, USAGE,
+use gossip_cli::{parse_args, usage, Command};
+use gossip_experiments::{
+    bench_to_json, effective_threads, run_bench, Emitter, Scenario, SchedulerSpec,
 };
 use std::io::Write;
+
+/// Run a batch of scenarios (a single `run` invocation is a one-cell
+/// batch; a grid is many), streaming one line per run to stdout. Write
+/// errors are ignored: a closed pipe (`gossip-sim | head`) is a normal
+/// way for a consumer to stop reading output.
+fn run_and_emit(scenarios: &[Scenario]) {
+    let mut emitter = Emitter::new(scenarios[0].output.format, std::io::stdout().lock());
+    let mut clamp_warned = false;
+    for scenario in scenarios {
+        if let SchedulerSpec::Sync { threads } = scenario.scheduler {
+            if let (_, Some(warning)) = effective_threads(threads) {
+                if !clamp_warned {
+                    clamp_warned = true;
+                    eprintln!("warning: {warning}");
+                }
+            }
+        }
+        for (result, meta) in scenario.sweep_timed_iter() {
+            let _ = emitter.emit(scenario, &result, &meta);
+            if !result.completed {
+                eprintln!(
+                    "warning: {}: gossip did not complete within {} rounds",
+                    scenario.with_seed(result.seed).scenario_id(),
+                    result.rounds_executed
+                );
+            }
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
         Ok(Command::Help) => {
-            let _ = std::io::stdout().write_all(USAGE.as_bytes());
+            let _ = std::io::stdout().write_all(usage().as_bytes());
         }
-        Ok(Command::Run(cfg)) => {
-            if let (_, Some(warning)) = effective_threads(cfg.threads) {
-                eprintln!("warning: {warning}");
-            }
-            // One line per swept seed (one line total by default),
-            // streamed as each run finishes; CSV leads with its header.
-            let csv = cfg.format == "csv";
-            if csv {
-                // Ignore write errors: a closed pipe (`gossip-sim | head`)
-                // is a normal way for a consumer to stop reading output.
-                let _ = writeln!(std::io::stdout(), "{}", csv_header());
-            }
-            for (result, meta) in run_sweep_timed_iter(&cfg) {
-                let line = if csv {
-                    to_csv_row(&result, &meta)
-                } else {
-                    to_json_timed(&result, &meta)
-                };
-                let _ = writeln!(std::io::stdout(), "{line}");
-                if !result.completed {
-                    eprintln!(
-                        "warning: seed {}: gossip did not complete within {} rounds",
-                        result.seed, result.rounds_executed
-                    );
+        Ok(Command::Run(scenario)) => run_and_emit(&[scenario]),
+        Ok(Command::Grid(scenarios)) => {
+            let runs: usize = scenarios.iter().map(|s| s.seeds).sum();
+            eprintln!("grid: {} cell(s), {} run(s)", scenarios.len(), runs);
+            run_and_emit(&scenarios);
+        }
+        Ok(Command::Bench(bench)) => {
+            if let SchedulerSpec::Sync { threads } = bench.scenario.scheduler {
+                if let (_, Some(warning)) = effective_threads(threads) {
+                    eprintln!("warning: {warning}");
                 }
             }
-        }
-        Ok(Command::Bench(cfg)) => {
-            if let (_, Some(warning)) = effective_threads(cfg.threads) {
-                eprintln!("warning: {warning}");
-            }
-            let report = run_bench(&cfg);
+            let report = run_bench(&bench);
             let _ = writeln!(std::io::stdout(), "{}", bench_to_json(&report));
         }
         Err(message) => {

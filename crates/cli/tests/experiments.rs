@@ -1,14 +1,15 @@
 //! End-to-end tests over the exact code path the `gossip-sim` binary runs:
-//! parse args, execute the experiment, serialize JSON.
+//! parse args, build typed scenarios, execute, serialize.
 
-use gossip_cli::{
-    bench_to_json, csv_header, parse_args, run_bench, run_experiment, run_sweep,
-    run_sweep_timed_iter, to_csv_row, to_json, BenchConfig, Command, ExperimentConfig, RunMeta,
+use gossip_cli::{parse_args, Command};
+use gossip_experiments::{
+    csv_header, run_bench, run_line_csv, to_json, BenchScenario, ProtocolSpec, RunMeta, Scenario,
+    ScenarioBuilder,
 };
 
-fn parse_run(args: &[&str]) -> ExperimentConfig {
+fn parse_run(args: &[&str]) -> Scenario {
     match parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()) {
-        Ok(Command::Run(cfg)) => cfg,
+        Ok(Command::Run(scenario)) => scenario,
         other => panic!("expected a Run command, got {other:?}"),
     }
 }
@@ -16,7 +17,7 @@ fn parse_run(args: &[&str]) -> ExperimentConfig {
 #[test]
 fn acceptance_invocation_produces_json_metrics() {
     // Mirrors: gossip-sim --topology ring --nodes 1000 --protocol advert --seed 42
-    let cfg = parse_run(&[
+    let scenario = parse_run(&[
         "--topology",
         "ring",
         "--nodes",
@@ -26,7 +27,7 @@ fn acceptance_invocation_produces_json_metrics() {
         "--seed",
         "42",
     ]);
-    let result = run_experiment(&cfg);
+    let result = scenario.run();
     assert!(result.completed, "1000-node ring should complete");
 
     let json = to_json(&result);
@@ -46,7 +47,7 @@ fn acceptance_invocation_produces_json_metrics() {
 
 #[test]
 fn advert_beats_uniform_on_the_acceptance_ring() {
-    let advert = run_experiment(&parse_run(&[
+    let advert = parse_run(&[
         "--topology",
         "ring",
         "--nodes",
@@ -55,8 +56,9 @@ fn advert_beats_uniform_on_the_acceptance_ring() {
         "advert",
         "--seed",
         "42",
-    ]));
-    let uniform = run_experiment(&parse_run(&[
+    ])
+    .run();
+    let uniform = parse_run(&[
         "--topology",
         "ring",
         "--nodes",
@@ -65,7 +67,8 @@ fn advert_beats_uniform_on_the_acceptance_ring() {
         "uniform",
         "--seed",
         "42",
-    ]));
+    ])
+    .run();
     assert!(advert.completed && uniform.completed);
     assert!(
         advert.rounds_to_completion < uniform.rounds_to_completion,
@@ -77,7 +80,7 @@ fn advert_beats_uniform_on_the_acceptance_ring() {
 
 #[test]
 fn history_flag_records_per_round_stats() {
-    let cfg = parse_run(&[
+    let scenario = parse_run(&[
         "--topology",
         "complete",
         "--nodes",
@@ -86,7 +89,7 @@ fn history_flag_records_per_round_stats() {
         "--seed",
         "3",
     ]);
-    let result = run_experiment(&cfg);
+    let result = scenario.run();
     assert!(result.completed);
     let history = result.rounds.as_ref().expect("--history populates rounds");
     assert_eq!(history.len(), result.rounds_executed);
@@ -95,8 +98,8 @@ fn history_flag_records_per_round_stats() {
 
     // The schema is a function of the flag, not the outcome: a run that is
     // complete before round 1 still carries an (empty) rounds array.
-    let cfg = parse_run(&["--nodes", "1", "--topology", "complete", "--history"]);
-    let result = run_experiment(&cfg);
+    let scenario = parse_run(&["--nodes", "1", "--topology", "complete", "--history"]);
+    let result = scenario.run();
     assert_eq!(result.rounds_to_completion, Some(0));
     assert!(to_json(&result).contains("\"rounds\":[]"));
 }
@@ -112,7 +115,7 @@ fn every_topology_runs_end_to_end() {
         "random_geometric",
     ] {
         for protocol in ["uniform", "advert"] {
-            let cfg = parse_run(&[
+            let scenario = parse_run(&[
                 "--topology",
                 topology,
                 "--nodes",
@@ -124,7 +127,7 @@ fn every_topology_runs_end_to_end() {
                 "--messages",
                 "2",
             ]);
-            let result = run_experiment(&cfg);
+            let result = scenario.run();
             assert!(
                 result.completed,
                 "{protocol} on {topology} failed to complete"
@@ -134,16 +137,64 @@ fn every_topology_runs_end_to_end() {
 }
 
 #[test]
+fn the_rgg_alias_is_normalized_to_one_canonical_name() {
+    // `random_geometric` and `rgg` are the same typed spec, and the name
+    // the result (and therefore every emitted line) echoes is the
+    // canonical one — so output always round-trips back into the CLI.
+    let canonical = parse_run(&["--topology", "rgg", "--nodes", "50", "--seed", "4"]);
+    let aliased = parse_run(&[
+        "--topology",
+        "random_geometric",
+        "--nodes",
+        "50",
+        "--seed",
+        "4",
+    ]);
+    assert_eq!(canonical, aliased);
+    let result = aliased.run();
+    assert_eq!(result.topology, "rgg");
+    assert!(to_json(&result).contains("\"topology\":\"rgg\""));
+    // And the canonical name re-parses.
+    let reparsed = parse_run(&["--topology", &result.topology]);
+    assert_eq!(reparsed.topology.name(), "rgg");
+}
+
+#[test]
 fn experiments_are_reproducible() {
-    let cfg = parse_run(&["--topology", "rgg", "--nodes", "60", "--seed", "11"]);
-    let a = run_experiment(&cfg);
-    let b = run_experiment(&cfg);
-    assert_eq!(to_json(&a), to_json(&b));
+    let scenario = parse_run(&["--topology", "rgg", "--nodes", "60", "--seed", "11"]);
+    assert_eq!(to_json(&scenario.run()), to_json(&scenario.run()));
+}
+
+#[test]
+fn an_explicit_radius_changes_the_graph_deterministically() {
+    let adaptive = parse_run(&["--topology", "rgg", "--nodes", "60", "--seed", "11"]);
+    let fixed = parse_run(&[
+        "--topology",
+        "rgg",
+        "--nodes",
+        "60",
+        "--seed",
+        "11",
+        "--radius",
+        "0.5",
+    ]);
+    // A generous radius yields a denser graph: same seed, fewer rounds
+    // than the threshold-radius build (or at least a different, still
+    // reproducible run).
+    let a = fixed.run();
+    let b = fixed.run();
+    assert_eq!(to_json(&a), to_json(&b), "fixed-radius runs reproduce");
+    assert!(a.completed);
+    assert_ne!(
+        to_json(&a),
+        to_json(&adaptive.run()),
+        "the radius knob actually reaches the topology builder"
+    );
 }
 
 #[test]
 fn async_scheduler_runs_end_to_end() {
-    let cfg = parse_run(&[
+    let scenario = parse_run(&[
         "--topology",
         "ring",
         "--nodes",
@@ -161,7 +212,7 @@ fn async_scheduler_runs_end_to_end() {
         "--max-latency",
         "128",
     ]);
-    let result = run_experiment(&cfg);
+    let result = scenario.run();
     assert!(result.completed, "async 200-node ring should complete");
     let json = to_json(&result);
     assert!(json.contains("\"scheduler\":\"async\""), "{json}");
@@ -173,12 +224,12 @@ fn async_scheduler_runs_end_to_end() {
     );
 
     // The async path is reproducible end to end, like the sync one.
-    assert_eq!(to_json(&run_experiment(&cfg)), json);
+    assert_eq!(to_json(&scenario.run()), json);
 }
 
 #[test]
 fn sync_results_report_virtual_time_alongside_rounds() {
-    let result = run_experiment(&parse_run(&["--nodes", "64"]));
+    let result = parse_run(&["--nodes", "64"]).run();
     assert!(result.completed);
     let json = to_json(&result);
     assert!(json.contains("\"scheduler\":\"sync\""), "{json}");
@@ -192,7 +243,7 @@ fn sync_results_report_virtual_time_alongside_rounds() {
 
 #[test]
 fn seed_sweep_emits_one_result_per_distinct_seed() {
-    let cfg = parse_run(&[
+    let scenario = parse_run(&[
         "--topology",
         "ring",
         "--nodes",
@@ -202,7 +253,7 @@ fn seed_sweep_emits_one_result_per_distinct_seed() {
         "--seed",
         "100",
     ]);
-    let results = run_sweep(&cfg);
+    let results = scenario.run_sweep();
     assert_eq!(results.len(), 5, "one result per swept seed");
     let seeds: Vec<u64> = results.iter().map(|r| r.seed).collect();
     assert_eq!(
@@ -230,9 +281,9 @@ fn seed_sweep_emits_one_result_per_distinct_seed() {
 
 #[test]
 fn default_sweep_width_is_a_single_seed() {
-    let cfg = parse_run(&["--nodes", "30"]);
-    assert_eq!(cfg.seeds, 1);
-    assert_eq!(run_sweep(&cfg).len(), 1);
+    let scenario = parse_run(&["--nodes", "30"]);
+    assert_eq!(scenario.seeds, 1);
+    assert_eq!(scenario.run_sweep().len(), 1);
 }
 
 /// The dynamics-disabled fast path must stay bit-for-bit what the engine
@@ -241,7 +292,7 @@ fn default_sweep_width_is_a_single_seed() {
 /// round accounting, or serialization shows up here as a diff.
 #[test]
 fn static_acceptance_output_is_pinned_byte_for_byte() {
-    let sync = run_experiment(&parse_run(&[
+    let sync = parse_run(&[
         "--topology",
         "ring",
         "--nodes",
@@ -252,7 +303,8 @@ fn static_acceptance_output_is_pinned_byte_for_byte() {
         "42",
         "--scheduler",
         "sync",
-    ]));
+    ])
+    .run();
     assert_eq!(
         to_json(&sync),
         "{\"topology\":\"ring\",\"protocol\":\"advert\",\"scheduler\":\"sync\",\
@@ -262,7 +314,7 @@ fn static_acceptance_output_is_pinned_byte_for_byte() {
          \"total_connections\":999,\"productive_connections\":999,\
          \"wasted_connections\":0,\"complete_nodes\":1000}"
     );
-    let async_ = run_experiment(&parse_run(&[
+    let async_ = parse_run(&[
         "--topology",
         "ring",
         "--nodes",
@@ -273,7 +325,8 @@ fn static_acceptance_output_is_pinned_byte_for_byte() {
         "42",
         "--scheduler",
         "async",
-    ]));
+    ])
+    .run();
     assert_eq!(
         to_json(&async_),
         "{\"topology\":\"ring\",\"protocol\":\"advert\",\"scheduler\":\"async\",\
@@ -288,7 +341,7 @@ fn static_acceptance_output_is_pinned_byte_for_byte() {
 #[test]
 fn churn_experiments_reproduce_and_report_dynamics() {
     for scheduler in ["sync", "async"] {
-        let cfg = parse_run(&[
+        let scenario = parse_run(&[
             "--topology",
             "ring",
             "--nodes",
@@ -304,7 +357,7 @@ fn churn_experiments_reproduce_and_report_dynamics() {
             "--seed",
             "42",
         ]);
-        let result = run_experiment(&cfg);
+        let result = scenario.run();
         assert!(
             result.completed,
             "{scheduler}: churned ring should complete"
@@ -323,20 +376,20 @@ fn churn_experiments_reproduce_and_report_dynamics() {
             assert!(json.contains(key), "{scheduler}: JSON missing {key}");
         }
         // Same seed + config reproduces the whole result, timeline and all.
-        assert_eq!(to_json(&run_experiment(&cfg)), json, "{scheduler}");
+        assert_eq!(to_json(&scenario.run()), json, "{scheduler}");
     }
 }
 
 #[test]
 fn static_json_carries_no_dynamics_key() {
-    let result = run_experiment(&parse_run(&["--nodes", "40"]));
+    let result = parse_run(&["--nodes", "40"]).run();
     assert!(result.dynamics.is_none());
     assert!(!to_json(&result).contains("\"dynamics\""));
 }
 
 #[test]
 fn fading_and_mobility_run_end_to_end() {
-    let fading = run_experiment(&parse_run(&[
+    let fading = parse_run(&[
         "--topology",
         "complete",
         "--nodes",
@@ -345,13 +398,14 @@ fn fading_and_mobility_run_end_to_end() {
         "0.2",
         "--seed",
         "5",
-    ]));
+    ])
+    .run();
     assert!(fading.completed);
     let stats = fading.dynamics.as_ref().expect("fading stats");
     assert_eq!(stats.model, "fading");
     assert!(stats.edge_downs > 0);
 
-    let mobile = run_experiment(&parse_run(&[
+    let mobile = parse_run(&[
         "--topology",
         "rgg",
         "--nodes",
@@ -361,12 +415,13 @@ fn fading_and_mobility_run_end_to_end() {
         "advert",
         "--seed",
         "5",
-    ]));
+    ])
+    .run();
     assert!(mobile.completed);
     let stats = mobile.dynamics.as_ref().expect("mobility stats");
     assert_eq!(stats.model, "waypoint");
 
-    let combined = run_experiment(&parse_run(&[
+    let combined = parse_run(&[
         "--topology",
         "ring",
         "--nodes",
@@ -377,7 +432,8 @@ fn fading_and_mobility_run_end_to_end() {
         "0.05",
         "--seed",
         "5",
-    ]));
+    ])
+    .run();
     let stats = combined.dynamics.as_ref().expect("composite stats");
     assert_eq!(stats.model, "churn+fading");
     assert!(stats.departures > 0 && stats.edge_downs > 0);
@@ -389,7 +445,7 @@ fn threads_flag_does_not_change_results_end_to_end() {
     // the available-parallelism clamp) must preserve that.
     for topology in ["ring", "rgg"] {
         for protocol in ["uniform", "advert"] {
-            let serial = run_experiment(&parse_run(&[
+            let serial = parse_run(&[
                 "--topology",
                 topology,
                 "--nodes",
@@ -398,9 +454,10 @@ fn threads_flag_does_not_change_results_end_to_end() {
                 protocol,
                 "--seed",
                 "7",
-            ]));
+            ])
+            .run();
             for threads in ["2", "8"] {
-                let sharded = run_experiment(&parse_run(&[
+                let sharded = parse_run(&[
                     "--topology",
                     topology,
                     "--nodes",
@@ -411,7 +468,8 @@ fn threads_flag_does_not_change_results_end_to_end() {
                     "7",
                     "--threads",
                     threads,
-                ]));
+                ])
+                .run();
                 assert_eq!(
                     serial, sharded,
                     "{protocol} on {topology} diverged at --threads {threads}"
@@ -423,65 +481,56 @@ fn threads_flag_does_not_change_results_end_to_end() {
 
 #[test]
 fn timed_sweep_surfaces_threads_and_wall_time() {
-    let cfg = parse_run(&["--nodes", "30", "--seeds", "2", "--threads", "1"]);
-    let records: Vec<_> = run_sweep_timed_iter(&cfg).collect();
+    let scenario = parse_run(&["--nodes", "30", "--seeds", "2", "--threads", "1"]);
+    let records: Vec<_> = scenario.sweep_timed_iter().collect();
     assert_eq!(records.len(), 2);
     for (result, meta) in &records {
         assert_eq!(meta.threads, 1);
         assert!(result.completed);
     }
     // The result half matches the untimed sweep exactly.
-    let untimed = run_sweep(&cfg);
+    let untimed = scenario.run_sweep();
     let timed_results: Vec<_> = records.into_iter().map(|(r, _)| r).collect();
     assert_eq!(untimed, timed_results);
 }
 
 #[test]
-fn bench_runs_end_to_end_and_reports_throughput() {
-    let cfg = BenchConfig {
-        topology: "ring".to_string(),
-        nodes: 2000,
-        protocol: "advert".to_string(),
-        messages: 1,
-        seed: 5,
-        threads: 1,
+fn bench_runs_over_the_same_specs_as_run() {
+    let bench = BenchScenario {
+        scenario: ScenarioBuilder::new()
+            .nodes(2000)
+            .protocol(ProtocolSpec::Advert)
+            .seed(5)
+            .finish()
+            .unwrap(),
         rounds: 32,
     };
-    let report = run_bench(&cfg);
+    let report = run_bench(&bench);
     assert_eq!(report.rounds_executed, 32, "budget-capped, far from done");
     assert!(!report.completed);
-    assert!(report.rounds_per_sec > 0.0);
-    assert!(report.node_events_per_sec >= report.rounds_per_sec);
-    // The accounting totals are seed-deterministic run to run — this is
-    // the divergence check the CI smoke job performs across thread
-    // counts.
-    let again = run_bench(&cfg);
-    assert_eq!(report.total_connections, again.total_connections);
-    assert_eq!(report.productive_connections, again.productive_connections);
-    assert_eq!(report.complete_nodes, again.complete_nodes);
-
-    let json = bench_to_json(&report);
-    for key in [
-        "\"bench\":\"sync_round_loop\"",
-        "\"topology\":\"ring\"",
-        "\"nodes\":2000",
-        "\"threads\":1",
-        "\"round_budget\":32",
-        "\"rounds_executed\":32",
-        "\"rounds_per_sec\":",
-        "\"node_events_per_sec\":",
-        "\"wall_ms\":",
-        "\"build_ms\":",
-        "\"total_connections\":",
-    ] {
-        assert!(json.contains(key), "bench JSON missing {key}: {json}");
-    }
-    assert!(!json.contains('\n'), "bench output must be line-oriented");
+    // The bench accounting is the same engine the run path drives: a
+    // standalone run capped at the same budget reports identical totals.
+    let capped = parse_run(&[
+        "--topology",
+        "ring",
+        "--nodes",
+        "2000",
+        "--protocol",
+        "advert",
+        "--seed",
+        "5",
+        "--max-rounds",
+        "32",
+    ])
+    .run();
+    assert_eq!(report.total_connections, capped.total_connections);
+    assert_eq!(report.productive_connections, capped.productive_connections);
+    assert_eq!(report.complete_nodes, capped.complete_nodes);
 }
 
 #[test]
 fn csv_sweeps_emit_one_well_formed_row_per_seed() {
-    let cfg = parse_run(&[
+    let scenario = parse_run(&[
         "--nodes",
         "30",
         "--seeds",
@@ -493,19 +542,18 @@ fn csv_sweeps_emit_one_well_formed_row_per_seed() {
         "--seed",
         "9",
     ]);
-    let results = run_sweep(&cfg);
+    let results = scenario.run_sweep();
     assert_eq!(results.len(), 4);
     let columns = csv_header().split(',').count();
+    let meta = RunMeta {
+        threads: 1,
+        wall_ms: 0,
+    };
     for (i, result) in results.iter().enumerate() {
-        let row = to_csv_row(
-            result,
-            &RunMeta {
-                threads: 1,
-                wall_ms: 0,
-            },
-        );
+        let id = scenario.with_seed(result.seed).scenario_id();
+        let row = run_line_csv(&id, result, &meta);
         assert_eq!(row.split(',').count(), columns, "row {i}: {row}");
-        assert!(row.starts_with("ring,uniform,sync,30,1,"));
+        assert!(row.starts_with(&format!("1,{id},ring,uniform,sync,30,1,")));
         assert!(row.contains(&format!(",{},", 9 + i as u64)), "seed echoed");
         assert!(row.contains(",churn,"), "dynamics columns filled");
     }

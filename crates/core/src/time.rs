@@ -75,7 +75,7 @@ impl std::fmt::Display for SimTime {
 /// Distributions governing an asynchronous execution. All sampling is
 /// deterministic given the [`Rng`], so event-driven runs are exactly
 /// reproducible from a seed.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimingConfig {
     /// Maximum relative clock drift. Each node draws a fixed clock-period
     /// factor uniformly from `[1 - drift, 1 + drift]`; a node with factor

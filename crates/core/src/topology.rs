@@ -316,6 +316,8 @@ impl Topology {
     /// at the standard connectivity threshold `sqrt(2 ln n / n)` and grows
     /// until the graph is connected, so the result is always usable for
     /// gossip while staying sparse. Deterministic in `rng`.
+    ///
+    /// The canonical name of the resulting topology is `"rgg"`.
     pub fn random_geometric(n: usize, rng: &mut Rng) -> Self {
         Self::random_geometric_with_geometry(n, rng).0
     }
@@ -329,7 +331,7 @@ impl Topology {
     /// so a million-node RGG builds in `O(n · expected degree)` rather
     /// than the old all-pairs `O(n²)` sweep.
     pub fn random_geometric_with_geometry(n: usize, rng: &mut Rng) -> (Self, RggGeometry) {
-        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect();
+        let pts = Self::sample_unit_square(n, rng);
         let mut radius = if n > 1 {
             (2.0 * (n as f64).ln() / n as f64).sqrt()
         } else {
@@ -337,12 +339,37 @@ impl Topology {
         };
         loop {
             let geometry = RggGeometry::new(pts.clone(), radius);
-            let topo = Self::from_edges("random_geometric", n, &geometry.edge_pairs());
+            let topo = Self::from_edges("rgg", n, &geometry.edge_pairs());
             if topo.is_connected() {
                 return (topo, geometry);
             }
             radius *= 1.25;
         }
+    }
+
+    /// Random geometric graph at an **explicit** connection radius, with
+    /// its embedding. Unlike [`random_geometric`](Self::random_geometric),
+    /// the radius is taken as given and never grown: a radius below the
+    /// connectivity threshold yields a disconnected graph (and a gossip
+    /// run that can never complete), which is itself a legitimate
+    /// experiment. The point sampling is identical to the adaptive
+    /// builder's — the same `rng` state yields the same embedding — and
+    /// the topology's canonical name is `"rgg"` either way.
+    pub fn random_geometric_fixed_radius(
+        n: usize,
+        radius: f64,
+        rng: &mut Rng,
+    ) -> (Self, RggGeometry) {
+        let pts = Self::sample_unit_square(n, rng);
+        let geometry = RggGeometry::new(pts, radius);
+        let topo = Self::from_edges("rgg", n, &geometry.edge_pairs());
+        (topo, geometry)
+    }
+
+    /// The shared point sampling of both RGG builders: `n` uniform points
+    /// in the unit square, two `rng` draws per point.
+    fn sample_unit_square(n: usize, rng: &mut Rng) -> Vec<(f64, f64)> {
+        (0..n).map(|_| (rng.gen_f64(), rng.gen_f64())).collect()
     }
 
     /// Number of nodes.
@@ -476,6 +503,24 @@ mod tests {
         let mut rng = Rng::new(42);
         let b = Topology::random_geometric(50, &mut rng);
         assert_eq!(a.num_edges(), b.num_edges(), "same seed, same graph");
+    }
+
+    #[test]
+    fn fixed_radius_rgg_shares_the_adaptive_embedding() {
+        // Same seed => same points; a generous fixed radius on a small
+        // point set must reproduce the adaptive builder's graph when the
+        // adaptive builder settles on that same radius.
+        let (adaptive, geo) = Topology::random_geometric_with_geometry(60, &mut Rng::new(3));
+        let (fixed, fixed_geo) =
+            Topology::random_geometric_fixed_radius(60, geo.radius(), &mut Rng::new(3));
+        assert_eq!(adaptive.num_edges(), fixed.num_edges());
+        assert_eq!(geo.positions(), fixed_geo.positions());
+        assert_eq!(adaptive.name(), "rgg");
+        assert_eq!(fixed.name(), "rgg");
+        // A tiny radius is honored as-is, even though it disconnects.
+        let (sparse, _) = Topology::random_geometric_fixed_radius(60, 1e-6, &mut Rng::new(3));
+        assert!(!sparse.is_connected());
+        assert_eq!(sparse.num_edges(), 0);
     }
 
     #[test]

@@ -24,6 +24,33 @@ pub enum RejoinPolicy {
     Never,
 }
 
+impl RejoinPolicy {
+    /// The stable spec/CLI names, in declaration order: `keep`, `lose`,
+    /// `none`. One source of truth for every front-end that names
+    /// policies, so parsers and help text cannot drift.
+    pub const NAMES: &'static [&'static str] = &["keep", "lose", "none"];
+
+    /// The stable spec/CLI name of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejoinPolicy::Keep => "keep",
+            RejoinPolicy::Lose => "lose",
+            RejoinPolicy::Never => "none",
+        }
+    }
+
+    /// Parse a stable name back into a policy (the inverse of
+    /// [`name`](Self::name)).
+    pub fn parse(name: &str) -> Option<RejoinPolicy> {
+        match name {
+            "keep" => Some(RejoinPolicy::Keep),
+            "lose" => Some(RejoinPolicy::Lose),
+            "none" => Some(RejoinPolicy::Never),
+            _ => None,
+        }
+    }
+}
+
 /// Memoryless node churn. Each alive node departs after a geometrically
 /// sampled lifetime with per-round departure probability `rate` (mean
 /// lifetime `1/rate` rounds); a departed node rejoins after a geometric

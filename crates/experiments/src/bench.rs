@@ -1,0 +1,217 @@
+//! Engine benchmarking over the same typed specs as `run` and `grid`:
+//! time the synchronous engine over a fixed round budget rather than
+//! running to completion, so a 10^6-node topology benches in seconds even
+//! though its gossip would take hundreds of thousands of rounds to
+//! finish.
+
+use crate::emit::{json_num, json_str, SCHEMA_VERSION};
+use crate::spec::Scenario;
+use gossip_sim::{Scheduler, SimConfig, SyncScheduler};
+
+use std::time::Instant;
+
+/// One bench invocation: a [`Scenario`] (built by the same
+/// [`ScenarioBuilder`](crate::ScenarioBuilder) as every other front-end,
+/// so bench configs cannot drift from run configs) plus the round budget.
+/// Benching always drives the synchronous engine; the scenario's
+/// scheduler spec contributes only its thread count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchScenario {
+    pub scenario: Scenario,
+    /// Round budget: the engine runs exactly this many rounds (or fewer
+    /// if gossip completes first).
+    pub rounds: usize,
+}
+
+/// Default bench round budget.
+pub const DEFAULT_BENCH_ROUNDS: usize = 64;
+
+/// What one bench invocation measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    pub scenario_id: String,
+    pub topology: String,
+    pub nodes: usize,
+    pub protocol: String,
+    pub messages: usize,
+    pub seed: u64,
+    /// Worker threads after the [`crate::effective_threads`] clamp.
+    pub threads: usize,
+    /// The configured round budget.
+    pub round_budget: usize,
+    /// Rounds the engine actually executed (< budget iff gossip
+    /// completed early).
+    pub rounds_executed: usize,
+    pub completed: bool,
+    /// Time to build the topology (excluded from throughput).
+    pub build_ms: u64,
+    /// Wall-clock time of the simulation itself.
+    pub wall_ms: u64,
+    /// Simulated rounds per second of wall time.
+    pub rounds_per_sec: f64,
+    /// `nodes × rounds` per second of wall time — the per-node sweep
+    /// throughput, comparable across topology sizes.
+    pub node_events_per_sec: f64,
+    /// Deterministic accounting totals: any serial-vs-parallel (or
+    /// build-to-build) divergence shows up as a mismatch here.
+    pub total_connections: usize,
+    pub productive_connections: usize,
+    pub complete_nodes: usize,
+}
+
+/// Run one engine benchmark: build the topology (timed separately), run
+/// the synchronous scheduler for the configured round budget, and report
+/// throughput plus the deterministic accounting totals.
+pub fn run_bench(bench: &BenchScenario) -> BenchReport {
+    let scenario = &bench.scenario;
+    let threads = scenario.scheduler.effective_threads();
+
+    let building = Instant::now();
+    let (topology, _geometry) = scenario.topology.build(scenario.nodes, scenario.seed);
+    let build_ms = building.elapsed().as_millis() as u64;
+
+    let protocol = scenario.protocol.build();
+    let sources = scenario.sources();
+    let sim_cfg = SimConfig {
+        max_rounds: bench.rounds,
+        record_rounds: false,
+    };
+    let scheduler = SyncScheduler::with_threads(threads);
+    let running = Instant::now();
+    let result = scheduler.run(
+        &topology,
+        protocol.as_ref(),
+        &sources,
+        scenario.seed,
+        &sim_cfg,
+    );
+    let wall = running.elapsed();
+
+    let secs = wall.as_secs_f64().max(1e-9);
+    BenchReport {
+        scenario_id: scenario.scenario_id(),
+        topology: result.topology.clone(),
+        nodes: scenario.nodes,
+        protocol: scenario.protocol.name().to_string(),
+        messages: scenario.messages,
+        seed: scenario.seed,
+        threads,
+        round_budget: bench.rounds,
+        rounds_executed: result.rounds_executed,
+        completed: result.completed,
+        build_ms,
+        wall_ms: wall.as_millis() as u64,
+        rounds_per_sec: result.rounds_executed as f64 / secs,
+        node_events_per_sec: (result.rounds_executed as f64 * scenario.nodes as f64) / secs,
+        total_connections: result.total_connections,
+        productive_connections: result.productive_connections,
+        complete_nodes: result.complete_nodes,
+    }
+}
+
+/// Serialize a bench report as one JSON line, shaped for appending to
+/// `BENCH_*.json` trajectory files. Carries the same `schema` version and
+/// `scenario_id` stamps as run/grid lines.
+pub fn bench_to_json(report: &BenchReport) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    json_num(&mut out, "schema", SCHEMA_VERSION);
+    out.push(',');
+    json_str(&mut out, "bench", "sync_round_loop");
+    out.push(',');
+    json_str(&mut out, "scenario_id", &report.scenario_id);
+    out.push(',');
+    json_str(&mut out, "topology", &report.topology);
+    out.push(',');
+    json_num(&mut out, "nodes", report.nodes as u64);
+    out.push(',');
+    json_str(&mut out, "protocol", &report.protocol);
+    out.push(',');
+    json_num(&mut out, "messages", report.messages as u64);
+    out.push(',');
+    json_num(&mut out, "seed", report.seed);
+    out.push(',');
+    json_num(&mut out, "threads", report.threads as u64);
+    out.push(',');
+    json_num(&mut out, "round_budget", report.round_budget as u64);
+    out.push(',');
+    json_num(&mut out, "rounds_executed", report.rounds_executed as u64);
+    out.push(',');
+    out.push_str(&format!("\"completed\":{}", report.completed));
+    out.push(',');
+    json_num(&mut out, "build_ms", report.build_ms);
+    out.push(',');
+    json_num(&mut out, "wall_ms", report.wall_ms);
+    out.push(',');
+    out.push_str(&format!(
+        "\"rounds_per_sec\":{:.2},\"node_events_per_sec\":{:.2}",
+        report.rounds_per_sec, report.node_events_per_sec
+    ));
+    out.push(',');
+    json_num(
+        &mut out,
+        "total_connections",
+        report.total_connections as u64,
+    );
+    out.push(',');
+    json_num(
+        &mut out,
+        "productive_connections",
+        report.productive_connections as u64,
+    );
+    out.push(',');
+    json_num(&mut out, "complete_nodes", report.complete_nodes as u64);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ProtocolSpec, ScenarioBuilder};
+
+    #[test]
+    fn bench_runs_end_to_end_and_reports_throughput() {
+        let bench = BenchScenario {
+            scenario: ScenarioBuilder::new()
+                .nodes(2000)
+                .protocol(ProtocolSpec::Advert)
+                .seed(5)
+                .finish()
+                .unwrap(),
+            rounds: 32,
+        };
+        let report = run_bench(&bench);
+        assert_eq!(report.rounds_executed, 32, "budget-capped, far from done");
+        assert!(!report.completed);
+        assert!(report.rounds_per_sec > 0.0);
+        assert!(report.node_events_per_sec >= report.rounds_per_sec);
+        // The accounting totals are seed-deterministic run to run — this
+        // is the divergence check the CI smoke job performs across thread
+        // counts.
+        let again = run_bench(&bench);
+        assert_eq!(report.total_connections, again.total_connections);
+        assert_eq!(report.productive_connections, again.productive_connections);
+        assert_eq!(report.complete_nodes, again.complete_nodes);
+
+        let json = bench_to_json(&report);
+        for key in [
+            "\"schema\":1",
+            "\"bench\":\"sync_round_loop\"",
+            "\"scenario_id\":\"ring-advert-sync-n2000-k1-s5\"",
+            "\"topology\":\"ring\"",
+            "\"nodes\":2000",
+            "\"threads\":1",
+            "\"round_budget\":32",
+            "\"rounds_executed\":32",
+            "\"rounds_per_sec\":",
+            "\"node_events_per_sec\":",
+            "\"wall_ms\":",
+            "\"build_ms\":",
+            "\"total_connections\":",
+        ] {
+            assert!(json.contains(key), "bench JSON missing {key}: {json}");
+        }
+        assert!(!json.contains('\n'), "bench output must be line-oriented");
+    }
+}

@@ -1,0 +1,291 @@
+//! Parameter grids: named axes expanded into [`Scenario`] cells.
+//!
+//! A [`Grid`] is a base [`ScenarioBuilder`] plus an ordered list of
+//! [`Axis`]s, each a `key = v1, v2, …` list over the shared assignment
+//! vocabulary ([`crate::ASSIGNMENTS`]). [`Grid::expand`] produces the
+//! cross product as fully validated scenarios in a **documented
+//! deterministic order**: axes nest in declaration order with the *last*
+//! axis varying fastest (row-major odometer), and within each cell the
+//! seed sweep (`seeds`) runs innermost. So a spec with
+//!
+//! ```text
+//! [axis]
+//! topology = ring, rgg
+//! protocol = uniform, advert
+//! ```
+//!
+//! expands to `ring/uniform`, `ring/advert`, `rgg/uniform`, `rgg/advert`
+//! — the same order a nest of `for` loops over the axes top-to-bottom
+//! would visit, which is what makes grid output diffable against scripted
+//! standalone runs.
+//!
+//! Every cell is stamped with a stable [`Scenario::scenario_id`], and each
+//! cell's [`SimResult`](gossip_sim::SimResult) is byte-identical to the
+//! same scenario run standalone: expansion only *assigns fields*; the
+//! execution path is [`Scenario::run`] either way. A grid-wide test and a
+//! CI smoke job enforce that equivalence.
+
+use crate::spec::{assignment, Scenario, ScenarioBuilder, SpecError};
+
+/// One named axis: a key from the shared assignment vocabulary and the
+/// values it sweeps over (as spec-format strings, exactly what `key =
+/// v1, v2` carries in a spec file or `--axis key=v1,v2` on the CLI).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Axis {
+    pub key: String,
+    pub values: Vec<String>,
+}
+
+/// Expansion failure: which cell (as its `key=value` assignments), if the
+/// problem is cell-specific, and the structured errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridExpandError {
+    /// `key=value` assignments of the failing cell; `None` for grid-level
+    /// problems (bad axis keys, empty value lists, base-scenario errors).
+    pub cell: Option<String>,
+    pub errors: Vec<SpecError>,
+}
+
+impl std::fmt::Display for GridExpandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let joined = crate::spec::join_errors(&self.errors);
+        match &self.cell {
+            Some(cell) => write!(f, "grid cell [{cell}]: {joined}"),
+            None => write!(f, "{joined}"),
+        }
+    }
+}
+
+impl std::error::Error for GridExpandError {}
+
+/// A parameter grid: base scenario assignments plus sweep axes. Expansion
+/// order is documented on the [module](crate::grid).
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// Assignments shared by every cell. Axis assignments override base
+    /// assignments for the same key.
+    pub base: ScenarioBuilder,
+    axes: Vec<Axis>,
+}
+
+impl Grid {
+    /// A grid over `base`, with no axes yet (a one-cell grid: just the
+    /// base scenario).
+    pub fn new(base: ScenarioBuilder) -> Self {
+        Grid {
+            base,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Append an axis. Declaration order is expansion order (last axis
+    /// fastest). Key and value validation happens in
+    /// [`expand`](Self::expand), so axes accumulate freely like builder
+    /// assignments do.
+    pub fn axis<S: Into<String>>(
+        mut self,
+        key: impl Into<String>,
+        values: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.push_axis(Axis {
+            key: key.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// [`axis`](Self::axis) by mutable reference.
+    pub fn push_axis(&mut self, axis: Axis) {
+        self.axes.push(axis);
+    }
+
+    /// The declared axes, in expansion order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Number of cells the grid expands to (product of axis lengths; 1
+    /// with no axes).
+    pub fn cells(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Expand the cross product into validated scenarios, in the
+    /// documented order. Fails on the first invalid axis (unknown or
+    /// non-axis key, empty or duplicate axis) or invalid cell, carrying
+    /// the cell's assignments so the user can see exactly which
+    /// combination broke.
+    pub fn expand(&self) -> Result<Vec<Scenario>, GridExpandError> {
+        let mut grid_errors = Vec::new();
+        for (i, axis) in self.axes.iter().enumerate() {
+            match assignment(&axis.key) {
+                None => grid_errors.push(SpecError::UnknownKey {
+                    key: axis.key.clone(),
+                }),
+                Some(def) if !def.run || !def.axis => grid_errors.push(SpecError::Conflict {
+                    reason: format!("'{}' cannot be a grid axis", axis.key),
+                }),
+                Some(_) => {}
+            }
+            if axis.values.is_empty() {
+                grid_errors.push(SpecError::Conflict {
+                    reason: format!("axis '{}' has no values", axis.key),
+                });
+            }
+            if self.axes[..i].iter().any(|prev| prev.key == axis.key) {
+                grid_errors.push(SpecError::Conflict {
+                    reason: format!("axis '{}' is declared twice", axis.key),
+                });
+            }
+        }
+        // Assignment errors already sitting in the base apply to every
+        // cell; report them once at grid level rather than blaming the
+        // first cell. (Cross-field conflicts can depend on axis values,
+        // so those still surface per-cell below.)
+        grid_errors.extend_from_slice(self.base.errors());
+        if !grid_errors.is_empty() {
+            return Err(GridExpandError {
+                cell: None,
+                errors: grid_errors,
+            });
+        }
+
+        let total = self.cells();
+        let mut scenarios = Vec::with_capacity(total);
+        for cell in 0..total {
+            // Row-major odometer: the last axis has stride 1.
+            let mut stride = total;
+            let mut builder = self.base.clone();
+            let mut cell_desc = Vec::with_capacity(self.axes.len());
+            for axis in &self.axes {
+                stride /= axis.values.len();
+                let value = &axis.values[(cell / stride) % axis.values.len()];
+                builder.set(&axis.key, value);
+                cell_desc.push(format!("{}={}", axis.key, value));
+            }
+            match builder.finish() {
+                Ok(scenario) => scenarios.push(scenario),
+                Err(errors) => {
+                    return Err(GridExpandError {
+                        cell: (!cell_desc.is_empty()).then(|| cell_desc.join(", ")),
+                        errors,
+                    })
+                }
+            }
+        }
+        Ok(scenarios)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_row_major_with_the_last_axis_fastest() {
+        let grid = Grid::new(ScenarioBuilder::new())
+            .axis("topology", ["ring", "line"])
+            .axis("protocol", ["uniform", "advert"]);
+        assert_eq!(grid.cells(), 4);
+        let cells = grid.expand().unwrap();
+        let order: Vec<(&str, &str)> = cells
+            .iter()
+            .map(|s| (s.topology.name(), s.protocol.name()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("ring", "uniform"),
+                ("ring", "advert"),
+                ("line", "uniform"),
+                ("line", "advert"),
+            ]
+        );
+    }
+
+    #[test]
+    fn axis_values_override_base_assignments() {
+        let mut base = ScenarioBuilder::new();
+        base.set("topology", "complete").set("nodes", "24");
+        let cells = Grid::new(base)
+            .axis("topology", ["ring", "grid"])
+            .expand()
+            .unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|s| s.nodes == 24));
+        assert_eq!(cells[0].topology.name(), "ring");
+        assert_eq!(cells[1].topology.name(), "grid");
+    }
+
+    #[test]
+    fn an_axisless_grid_is_one_cell() {
+        let cells = Grid::new(ScenarioBuilder::new()).expand().unwrap();
+        assert_eq!(cells, vec![Scenario::default()]);
+    }
+
+    #[test]
+    fn bad_axes_are_rejected_at_grid_level() {
+        let err = Grid::new(ScenarioBuilder::new())
+            .axis("frobnicate", ["1"])
+            .expand()
+            .unwrap_err();
+        assert_eq!(err.cell, None);
+        assert!(err.to_string().contains("frobnicate"), "{err}");
+
+        let err = Grid::new(ScenarioBuilder::new())
+            .axis("format", ["json", "csv"])
+            .expand()
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot be a grid axis"), "{err}");
+
+        let err = Grid::new(ScenarioBuilder::new())
+            .axis("topology", Vec::<String>::new())
+            .expand()
+            .unwrap_err();
+        assert!(err.to_string().contains("no values"), "{err}");
+
+        let err = Grid::new(ScenarioBuilder::new())
+            .axis("seed", ["1"])
+            .axis("seed", ["2"])
+            .expand()
+            .unwrap_err();
+        assert!(err.to_string().contains("declared twice"), "{err}");
+    }
+
+    #[test]
+    fn bad_base_assignments_are_grid_level_not_first_cell() {
+        let mut base = ScenarioBuilder::new();
+        base.set("nodes", "many");
+        let err = Grid::new(base)
+            .axis("topology", ["ring", "grid"])
+            .expand()
+            .unwrap_err();
+        assert_eq!(err.cell, None, "base errors apply to every cell");
+        assert!(err.to_string().contains("'many'"), "{err}");
+    }
+
+    #[test]
+    fn bad_cells_report_their_assignments() {
+        let err = Grid::new(ScenarioBuilder::new())
+            .axis("topology", ["ring", "rgg"])
+            .axis("radius", ["0.3"])
+            .expand()
+            .unwrap_err();
+        // radius=0.3 over topology=ring is the invalid combination.
+        assert_eq!(err.cell.as_deref(), Some("topology=ring, radius=0.3"));
+        assert!(err.to_string().contains("requires topology rgg"), "{err}");
+    }
+
+    #[test]
+    fn every_cell_gets_a_distinct_scenario_id() {
+        let cells = Grid::new(ScenarioBuilder::new())
+            .axis("topology", ["ring", "grid"])
+            .axis("scheduler", ["sync", "async"])
+            .axis("seed", ["1", "2", "3"])
+            .expand()
+            .unwrap();
+        let ids: std::collections::HashSet<String> =
+            cells.iter().map(|s| s.scenario_id()).collect();
+        assert_eq!(ids.len(), cells.len(), "ids must be unique per cell");
+    }
+}

@@ -1,0 +1,50 @@
+//! Typed, library-first experiment API for mobile telephone model gossip.
+//!
+//! Every experiment in the source paper (Newport, PODC 2017) — and its
+//! asynchronous and dynamic follow-ups — is one point in a grid: topology
+//! × protocol × scheduler × dynamics × seed. This crate makes that space
+//! a first-class, typed value instead of a pile of CLI strings:
+//!
+//! - **Specs** ([`spec`]): [`TopologySpec`], [`ProtocolSpec`],
+//!   [`SchedulerSpec`], [`DynamicsSpec`], and [`OutputSpec`] compose into
+//!   a validated [`Scenario`] via [`ScenarioBuilder`], which accumulates
+//!   structured [`SpecError`]s instead of failing fast. A scenario owns
+//!   its whole execution: [`Scenario::run`] builds the topology, sources,
+//!   dynamics, and scheduler, and [`Scenario::sweep_timed_iter`] streams
+//!   a multi-seed sweep.
+//! - **Grids** ([`grid`]): [`Axis`] lists over the shared `key = value`
+//!   vocabulary ([`ASSIGNMENTS`]) expand — in a documented deterministic
+//!   order — into scenario cells, each stamped with a stable
+//!   [`Scenario::scenario_id`]. A grid cell's result is byte-identical to
+//!   the same scenario run standalone, by construction and by test.
+//! - **Spec files** ([`specfile`]): a dependency-free, section-based
+//!   `key = value` format ([`parse_spec`]) so one file reproduces an
+//!   entire paper figure; [`Scenario::to_spec`] writes the same format
+//!   back (round-trip enforced by tests).
+//! - **Emission** ([`emit`]): the one-JSON-line / one-CSV-row-per-run
+//!   serializers behind an [`Emitter`], versioned with a `schema` field,
+//!   shared by run, grid, and bench front-ends.
+//! - **Bench** ([`mod@bench`]): fixed-round-budget engine timing over the
+//!   same scenario specs, so benchmarks cannot drift from experiments.
+//!
+//! The `gossip-sim` binary is a thin flag-parsing front-end over this
+//! crate; any downstream tool can drive the identical experiment surface
+//! without shelling out.
+
+pub mod bench;
+pub mod emit;
+pub mod grid;
+pub mod spec;
+pub mod specfile;
+
+pub use bench::{bench_to_json, run_bench, BenchReport, BenchScenario, DEFAULT_BENCH_ROUNDS};
+pub use emit::{
+    csv_header, run_line_csv, run_line_json, to_json, Emitter, RunMeta, SCHEMA_VERSION,
+};
+pub use grid::{Axis, Grid, GridExpandError};
+pub use spec::{
+    assignment, effective_threads, join_errors, AssignmentDef, ChurnSpec, DynamicsSpec,
+    OutputFormat, OutputSpec, ProtocolSpec, Scenario, ScenarioBuilder, SchedulerSpec, SpecError,
+    TopologySpec, ASSIGNMENTS, SOURCES_SEED_SALT, TOPOLOGY_SEED_SALT,
+};
+pub use specfile::parse_spec;

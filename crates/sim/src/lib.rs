@@ -84,6 +84,16 @@ impl SimConfig {
     }
 }
 
+/// The default round cap for an `n`-node experiment when the caller does
+/// not set one: generous enough that every connected standard topology
+/// completes (a line needs `O(n)` rounds even under advertisement-guided
+/// gossip; the constant absorbs small-topology overhead), while still
+/// terminating disconnected or drained runs. Experiment front-ends share
+/// this one policy so `run`, sweeps, and grids cannot drift.
+pub fn default_round_cap(nodes: usize) -> usize {
+    100 + 60 * nodes
+}
+
 /// Place `k` message sources uniformly at random on distinct nodes
 /// (wrapping onto shared nodes only when `k > n`). Deterministic in `rng`.
 pub fn random_sources(n: usize, k: usize, rng: &mut Rng) -> Vec<NodeId> {
