@@ -29,8 +29,10 @@
 //!   packing of all nodes' state, both read through [`MsgView`],
 //! - [`Intent`] / [`resolve_connections`]: connection proposals and the
 //!   batch matching resolver enforcing the one-connection-per-node
-//!   invariant, plus [`IncrementalMatcher`], the event-at-a-time
-//!   counterpart for asynchronous executions,
+//!   invariant, plus [`resolve_connections_sharded`], the partitioned
+//!   parallel form with identical invariants and thread-count-independent
+//!   output, and [`IncrementalMatcher`], the event-at-a-time counterpart
+//!   for asynchronous executions,
 //! - [`SimTime`] / [`TimingConfig`]: virtual time and the drift/latency
 //!   distributions of the asynchronous mobile telephone model,
 //! - [`Rng`]: a small deterministic PRNG so whole simulations are seedable.
@@ -43,8 +45,11 @@ pub mod time;
 pub mod topology;
 
 pub use dynamic::DynamicTopology;
-pub use matching::{resolve_connections, Connection, IncrementalMatcher, Intent, PeerState};
-pub use message::{MessageMatrix, MessageSet, MsgView};
+pub use matching::{
+    resolve_connections, resolve_connections_sharded, Connection, IncrementalMatcher, Intent,
+    PeerState, Resolution, MATCH_REGIONS,
+};
+pub use message::{MessageMatrix, MessageSet, MsgView, TransferStats};
 pub use rng::Rng;
 pub use time::{SimTime, TimingConfig, TICKS_PER_ROUND};
 pub use topology::{GraphView, RggGeometry, Topology};

@@ -21,10 +21,14 @@
 //!    round's matching is maximal over the proposer/listener split.
 //!
 //! [`resolve_connections`] performs this resolution for a whole synchronous
-//! round in one batch. Event-driven schedulers instead resolve proposals
-//! one at a time as their connection events fire; [`IncrementalMatcher`]
-//! is the stateful counterpart that enforces the same
-//! one-connection-per-node invariant across those individual events.
+//! round in one batch; [`resolve_connections_sharded`] is the partitioned
+//! form the sharded round loop uses — node-range regions resolved in
+//! parallel, boundary conflicts settled by a deterministic serial sweep —
+//! with results that are byte-identical at any thread count. Event-driven
+//! schedulers instead resolve proposals one at a time as their connection
+//! events fire; [`IncrementalMatcher`] is the stateful counterpart that
+//! enforces the same one-connection-per-node invariant across those
+//! individual events.
 
 use crate::topology::GraphView;
 use crate::{NodeId, Rng};
@@ -48,48 +52,55 @@ pub struct Connection {
     pub acceptor: NodeId,
 }
 
-/// Resolve one round of intents into connections.
-///
-/// `intents[i]` is node `i`'s intent; `topology` is any [`GraphView`] —
-/// static, or the active view of a dynamic graph. Panics in debug builds
-/// if a proposal targets a non-neighbor (a protocol bug: within a
-/// synchronous round the graph cannot change between scan and resolution);
-/// in release such proposals are dropped. The returned connections form a
-/// matching: no node appears in more than one, and no free proposer
-/// remains adjacent to a free listener.
-pub fn resolve_connections<G: GraphView + ?Sized>(
+/// The outcome of resolving one round of intents: the connections that
+/// formed, plus how many proposals were dropped because they targeted a
+/// non-neighbor. A non-neighbor proposal is a protocol bug (within a
+/// synchronous round the graph cannot change between scan and resolution),
+/// so it panics in debug builds; in release it is counted here instead of
+/// vanishing silently — the engine surfaces the sum as
+/// `SimResult::dropped_proposals`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Resolution {
+    /// The matching that formed: no node appears in more than one
+    /// connection, and no free proposer remains adjacent to a free
+    /// listener.
+    pub connections: Vec<Connection>,
+    /// Proposals dropped for targeting a non-neighbor (release builds
+    /// only; debug builds panic first). The dropped proposer still
+    /// participates in the rebound phase, exactly as if its target had
+    /// merely declined.
+    pub dropped_proposals: u64,
+}
+
+/// The two-phase resolution core shared by the serial resolver, every
+/// parallel region, and the boundary sweep: visit `proposals` in random
+/// arrival order (phase 1), then let still-free proposers rebound onto any
+/// free listening neighbor (phase 2). `matched[i]` tracks node `base + i`
+/// — regions pass their own slice of the global occupancy array with
+/// `base` at the region's first node, which is sound because every node a
+/// region touches (proposer, target, rebound candidate) lies inside its
+/// slice by construction. Connections are appended to `connections`.
+fn resolve_batch<G: GraphView + ?Sized>(
+    proposals: &mut [(NodeId, NodeId)],
     topology: &G,
     intents: &[Intent],
     rng: &mut Rng,
-) -> Vec<Connection> {
-    let n = topology.num_nodes();
-    assert_eq!(intents.len(), n, "one intent per node required");
-
-    let mut matched = vec![false; n];
-    let mut connections = Vec::new();
-
+    base: usize,
+    matched: &mut [bool],
+    connections: &mut Vec<Connection>,
+) {
     // Phase 1: explicit proposals, in random arrival order.
-    let mut proposals: Vec<(NodeId, NodeId)> = intents
-        .iter()
-        .enumerate()
-        .filter_map(|(u, intent)| match intent {
-            Intent::Propose(v) => Some((NodeId(u as u32), *v)),
-            _ => None,
-        })
-        .collect();
-    rng.shuffle(&mut proposals);
-
-    for &(u, v) in &proposals {
-        debug_assert!(
-            topology.are_neighbors(u, v),
-            "protocol proposed {u} -> {v} across a non-edge"
-        );
+    rng.shuffle(proposals);
+    for &(u, v) in proposals.iter() {
         if !topology.are_neighbors(u, v) {
-            continue;
+            continue; // dropped (counted by the caller)
         }
-        if intents[v.index()] == Intent::Listen && !matched[u.index()] && !matched[v.index()] {
-            matched[u.index()] = true;
-            matched[v.index()] = true;
+        if intents[v.index()] == Intent::Listen
+            && !matched[u.index() - base]
+            && !matched[v.index() - base]
+        {
+            matched[u.index() - base] = true;
+            matched[v.index() - base] = true;
             connections.push(Connection {
                 initiator: u,
                 acceptor: v,
@@ -103,7 +114,7 @@ pub fn resolve_connections<G: GraphView + ?Sized>(
     let mut free_proposers: Vec<NodeId> = proposals
         .iter()
         .map(|&(u, _)| u)
-        .filter(|u| !matched[u.index()])
+        .filter(|u| !matched[u.index() - base])
         .collect();
     rng.shuffle(&mut free_proposers);
 
@@ -115,21 +126,264 @@ pub fn resolve_connections<G: GraphView + ?Sized>(
                 .neighbors(u)
                 .iter()
                 .copied()
-                .filter(|v| intents[v.index()] == Intent::Listen && !matched[v.index()]),
+                .filter(|v| intents[v.index()] == Intent::Listen && !matched[v.index() - base]),
         );
         if candidates.is_empty() {
             continue;
         }
         let v = candidates[rng.gen_range(candidates.len())];
-        matched[u.index()] = true;
-        matched[v.index()] = true;
+        matched[u.index() - base] = true;
+        matched[v.index() - base] = true;
         connections.push(Connection {
             initiator: u,
             acceptor: v,
         });
     }
+}
 
-    connections
+/// Collect `(proposer, target)` pairs in node order and count (and, in
+/// debug builds, panic on) proposals across non-edges.
+fn collect_proposals<G: GraphView + ?Sized>(
+    topology: &G,
+    intents: &[Intent],
+) -> (Vec<(NodeId, NodeId)>, u64) {
+    let proposals: Vec<(NodeId, NodeId)> = intents
+        .iter()
+        .enumerate()
+        .filter_map(|(u, intent)| match intent {
+            Intent::Propose(v) => Some((NodeId(u as u32), *v)),
+            _ => None,
+        })
+        .collect();
+    let mut dropped = 0;
+    for &(u, v) in &proposals {
+        debug_assert!(
+            topology.are_neighbors(u, v),
+            "protocol proposed {u} -> {v} across a non-edge"
+        );
+        dropped += !topology.are_neighbors(u, v) as u64;
+    }
+    (proposals, dropped)
+}
+
+/// Resolve one round of intents into connections, serially.
+///
+/// `intents[i]` is node `i`'s intent; `topology` is any [`GraphView`] —
+/// static, or the active view of a dynamic graph. The returned matching
+/// satisfies the invariants documented on [`Resolution`]; non-neighbor
+/// proposals panic in debug builds and are dropped-and-counted in release.
+/// This is the reference resolver: the partitioned
+/// [`resolve_connections_sharded`] must produce a matching satisfying the
+/// same invariants (the property tests in `tests/matching_properties.rs`
+/// hold it to that).
+pub fn resolve_connections<G: GraphView + ?Sized>(
+    topology: &G,
+    intents: &[Intent],
+    rng: &mut Rng,
+) -> Resolution {
+    let n = topology.num_nodes();
+    assert_eq!(intents.len(), n, "one intent per node required");
+
+    let (mut proposals, dropped_proposals) = collect_proposals(topology, intents);
+    let mut matched = vec![false; n];
+    let mut connections = Vec::new();
+    resolve_batch(
+        &mut proposals,
+        topology,
+        intents,
+        rng,
+        0,
+        &mut matched,
+        &mut connections,
+    );
+    Resolution {
+        connections,
+        dropped_proposals,
+    }
+}
+
+/// Region count of the partitioned resolver. Fixed — deliberately *not* a
+/// function of the thread count, because the partition (and therefore
+/// which proposals are region-internal vs. boundary, and which RNG stream
+/// resolves each) must be identical whether 1 or 64 workers execute it;
+/// only then are results byte-identical at any thread count.
+pub const MATCH_REGIONS: usize = 64;
+
+/// Stream coordinate of region `r`'s resolver RNG. Node streams use the
+/// node id (`< 2^32`) as their coordinate, so offsetting regions by
+/// `2^32` can never collide with one.
+const REGION_STREAM_BASE: u64 = 1 << 32;
+
+/// Stream coordinate of the boundary sweep's RNG. (`u64::MAX` itself was
+/// the retired whole-round matching stream; keeping this distinct makes
+/// the sharded resolver's draws independent of the old serial ones.)
+const BOUNDARY_STREAM: u64 = u64::MAX - 1;
+
+/// Per-region scratch produced by the parallel pass, merged in region
+/// (= node) order afterwards.
+#[derive(Default)]
+struct RegionOut {
+    connections: Vec<Connection>,
+    deferred: Vec<(NodeId, NodeId)>,
+    dropped: u64,
+}
+
+/// One region's pass: split the region's proposers into *confined* ones —
+/// every listening neighbor lies inside the region's node range, so
+/// nothing outside the range can be touched — and *boundary* ones, which
+/// are deferred. Confined proposals run the standard two-phase resolution
+/// against the region's slice of the occupancy array, drawing from the
+/// region's own `(seed, round, region)` stream.
+#[allow(clippy::too_many_arguments)] // one flat hot-path call, not an API
+fn resolve_region<G: GraphView + ?Sized>(
+    region: usize,
+    base: usize,
+    matched: &mut [bool],
+    out: &mut RegionOut,
+    topology: &G,
+    intents: &[Intent],
+    seed: u64,
+    round: u64,
+) {
+    let hi = base + matched.len();
+    let mut confined: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in base..hi {
+        let Intent::Propose(v) = intents[u] else {
+            continue;
+        };
+        let u_id = NodeId(u as u32);
+        debug_assert!(
+            topology.are_neighbors(u_id, v),
+            "protocol proposed {u_id} -> {v} across a non-edge"
+        );
+        // A dropped (non-neighbor) proposal still rebounds, so it stays in
+        // whichever pool its listening neighborhood assigns it to.
+        out.dropped += !topology.are_neighbors(u_id, v) as u64;
+        let is_confined = topology
+            .neighbors(u_id)
+            .iter()
+            .all(|w| intents[w.index()] != Intent::Listen || (base..hi).contains(&w.index()));
+        if is_confined {
+            confined.push((u_id, v));
+        } else {
+            out.deferred.push((u_id, v));
+        }
+    }
+    let mut rng = Rng::stream(seed, round, REGION_STREAM_BASE + region as u64);
+    resolve_batch(
+        &mut confined,
+        topology,
+        intents,
+        &mut rng,
+        base,
+        matched,
+        &mut out.connections,
+    );
+}
+
+/// Resolve one round of intents with the partitioned parallel resolver.
+///
+/// Nodes are split into `regions` fixed contiguous blocks (callers pass
+/// [`MATCH_REGIONS`]). A proposer whose listening neighbors all lie in its
+/// own block is resolved inside that block, in parallel across blocks —
+/// each block owns a disjoint slice of the occupancy array, so the pass
+/// needs no synchronization. Proposers with a listening neighbor in
+/// another block are deferred to a serial *boundary sweep* that runs the
+/// same two-phase resolution over the concatenated leftovers (in node
+/// order) against the whole occupancy array.
+///
+/// **Determinism.** The partition, the confined/boundary split, and every
+/// RNG stream (`(seed, round, 2³² + region)` per region,
+/// `(seed, round, u64::MAX − 1)` for the sweep) depend only on the inputs
+/// — never on `threads`, which merely says how many workers execute the
+/// region passes. Regions merge in region order (= node order), so the
+/// output is byte-identical at any thread count.
+///
+/// **Maximality.** A confined proposer left free had every listening
+/// neighbor matched at the end of its own region's pass (all of them are
+/// in-block by definition), and matches only accumulate afterwards. A
+/// boundary proposer left free saw every still-free listener — it rebounds
+/// against the global occupancy array. Hence no free proposer is adjacent
+/// to a free listener: the same invariant [`resolve_connections`]
+/// guarantees, verified against it property-style in
+/// `tests/matching_properties.rs`.
+pub fn resolve_connections_sharded<G: GraphView + Sync + ?Sized>(
+    topology: &G,
+    intents: &[Intent],
+    seed: u64,
+    round: u64,
+    regions: usize,
+    threads: usize,
+) -> Resolution {
+    let n = topology.num_nodes();
+    assert_eq!(intents.len(), n, "one intent per node required");
+    if n == 0 {
+        return Resolution::default();
+    }
+    let regions = regions.clamp(1, n);
+    let block = n.div_ceil(regions);
+    // Ceiling rounding can leave fewer non-empty blocks than requested
+    // (e.g. n = 6, regions = 4 → block = 2 → 3 blocks); recompute so every
+    // region is non-empty and `chunks_mut(block)` lines up exactly.
+    let regions = n.div_ceil(block);
+    let threads = threads.clamp(1, regions);
+
+    let mut matched = vec![false; n];
+    let mut outs: Vec<RegionOut> = Vec::new();
+    outs.resize_with(regions, RegionOut::default);
+
+    if threads == 1 {
+        for (r, (chunk, out)) in matched.chunks_mut(block).zip(outs.iter_mut()).enumerate() {
+            resolve_region(r, r * block, chunk, out, topology, intents, seed, round);
+        }
+    } else {
+        // Hand each worker a contiguous group of (region slice, scratch)
+        // pairs. The slices are disjoint by construction (`chunks_mut`),
+        // so the pass is safe Rust — no atomics, no unsafe.
+        let mut work: Vec<(usize, (&mut [bool], &mut RegionOut))> = matched
+            .chunks_mut(block)
+            .zip(outs.iter_mut())
+            .enumerate()
+            .collect();
+        let per_worker = regions.div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut rest = work.as_mut_slice();
+            while !rest.is_empty() {
+                let (group, tail) = rest.split_at_mut(per_worker.min(rest.len()));
+                rest = tail;
+                s.spawn(move || {
+                    for (r, (chunk, out)) in group.iter_mut() {
+                        resolve_region(*r, *r * block, chunk, out, topology, intents, seed, round);
+                    }
+                });
+            }
+        });
+    }
+
+    // Deterministic merge in region (= node) order, then the serial
+    // boundary sweep over the deferred proposals.
+    let mut connections = Vec::new();
+    let mut deferred: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut dropped_proposals = 0;
+    for out in &mut outs {
+        connections.append(&mut out.connections);
+        deferred.extend_from_slice(&out.deferred);
+        dropped_proposals += out.dropped;
+    }
+    let mut rng = Rng::stream(seed, round, BOUNDARY_STREAM);
+    resolve_batch(
+        &mut deferred,
+        topology,
+        intents,
+        &mut rng,
+        0,
+        &mut matched,
+        &mut connections,
+    );
+    Resolution {
+        connections,
+        dropped_proposals,
+    }
 }
 
 /// A node's availability in an event-driven execution, tracked by
@@ -246,23 +500,28 @@ mod tests {
     fn proposal_to_listener_connects() {
         let topo = Topology::line(2);
         let intents = [Intent::Propose(NodeId(1)), Intent::Listen];
-        let conns = resolve_connections(&topo, &intents, &mut Rng::new(1));
+        let res = resolve_connections(&topo, &intents, &mut Rng::new(1));
         assert_eq!(
-            conns,
+            res.connections,
             vec![Connection {
                 initiator: NodeId(0),
                 acceptor: NodeId(1)
             }]
         );
+        assert_eq!(res.dropped_proposals, 0);
     }
 
     #[test]
     fn proposal_to_non_listener_is_lost() {
         let topo = Topology::line(2);
         let intents = [Intent::Propose(NodeId(1)), Intent::Idle];
-        assert!(resolve_connections(&topo, &intents, &mut Rng::new(1)).is_empty());
+        assert!(resolve_connections(&topo, &intents, &mut Rng::new(1))
+            .connections
+            .is_empty());
         let intents = [Intent::Propose(NodeId(1)), Intent::Propose(NodeId(0))];
-        assert!(resolve_connections(&topo, &intents, &mut Rng::new(1)).is_empty());
+        assert!(resolve_connections(&topo, &intents, &mut Rng::new(1))
+            .connections
+            .is_empty());
     }
 
     #[test]
@@ -274,7 +533,7 @@ mod tests {
             Intent::Listen,
             Intent::Propose(NodeId(1)),
         ];
-        let conns = resolve_connections(&topo, &intents, &mut Rng::new(5));
+        let conns = resolve_connections(&topo, &intents, &mut Rng::new(5)).connections;
         assert_eq!(conns.len(), 1);
         assert_eq!(conns[0].acceptor, NodeId(1));
     }
@@ -290,8 +549,65 @@ mod tests {
             Intent::Propose(NodeId(1)),
             Intent::Listen,
         ];
-        let conns = resolve_connections(&topo, &intents, &mut Rng::new(8));
+        let conns = resolve_connections(&topo, &intents, &mut Rng::new(8)).connections;
         assert_eq!(conns.len(), 2, "rebound phase should pair everyone");
+    }
+
+    #[test]
+    fn sharded_resolver_forms_connections_and_is_thread_independent() {
+        // A 12-ring with alternating propose/listen intents, split into
+        // more regions than make sense — every region is tiny, so all
+        // proposals defer to the boundary sweep — and into 2 regions,
+        // where most are confined. Both must be internally
+        // thread-independent.
+        let topo = Topology::ring(12);
+        let intents: Vec<Intent> = (0..12)
+            .map(|u| {
+                if u % 2 == 0 {
+                    Intent::Propose(NodeId(((u + 1) % 12) as u32))
+                } else {
+                    Intent::Listen
+                }
+            })
+            .collect();
+        for regions in [2usize, 64] {
+            let baseline = resolve_connections_sharded(&topo, &intents, 9, 3, regions, 1);
+            assert!(
+                !baseline.connections.is_empty(),
+                "regions={regions}: some pairs must form"
+            );
+            assert_eq!(baseline.dropped_proposals, 0);
+            for threads in [2usize, 8] {
+                let sharded = resolve_connections_sharded(&topo, &intents, 9, 3, regions, threads);
+                assert_eq!(
+                    baseline, sharded,
+                    "regions={regions}, threads={threads}: sharded resolver diverged"
+                );
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn non_neighbor_proposals_are_counted_in_release() {
+        // Node 0 proposes to non-neighbor 2 on a 3-line (a protocol bug;
+        // debug builds panic instead). The proposal is dropped and
+        // counted, but node 0 still rebounds onto its listening neighbor.
+        let topo = Topology::line(3);
+        let intents = [Intent::Propose(NodeId(2)), Intent::Listen, Intent::Idle];
+        let serial = resolve_connections(&topo, &intents, &mut Rng::new(4));
+        assert_eq!(serial.dropped_proposals, 1);
+        assert_eq!(
+            serial.connections,
+            vec![Connection {
+                initiator: NodeId(0),
+                acceptor: NodeId(1)
+            }],
+            "dropped proposer must still rebound"
+        );
+        let sharded = resolve_connections_sharded(&topo, &intents, 4, 1, MATCH_REGIONS, 2);
+        assert_eq!(sharded.dropped_proposals, 1);
+        assert_eq!(sharded.connections, serial.connections);
     }
 
     #[test]

@@ -14,7 +14,63 @@
 //! what protocols consume — a protocol cannot tell (and must not care)
 //! which storage backs the node it is deciding for.
 
+use crate::matching::Connection;
 use crate::rng::mix;
+
+/// Aggregate outcome of a batch of push-pull transfers
+/// ([`MessageMatrix::union_pairs_parallel`]). Every field is a sum of
+/// per-pair contributions, and the pairs of a round are node-disjoint, so
+/// the totals are independent of the order — and the thread count — in
+/// which the pairs were processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Messages that moved, in both directions across all pairs.
+    pub moved: usize,
+    /// Pairs that moved at least one message.
+    pub productive: usize,
+    /// Endpoints that newly hold the full universe.
+    pub newly_full: usize,
+}
+
+impl std::ops::AddAssign for TransferStats {
+    fn add_assign(&mut self, rhs: TransferStats) {
+        self.moved += rhs.moved;
+        self.productive += rhs.productive;
+        self.newly_full += rhs.newly_full;
+    }
+}
+
+/// The push-pull union of two rows (both become their union), given
+/// exclusive access to each row's words and count. Shared by the safe
+/// serial path (slices from `split_at_mut`) and the parallel path (slices
+/// reconstituted from raw parts over provably disjoint rows).
+#[inline]
+fn union_rows(
+    a: &mut [u64],
+    b: &mut [u64],
+    count_a: &mut u32,
+    count_b: &mut u32,
+    universe: usize,
+) -> TransferStats {
+    let mut count = 0u32;
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let u = *x | *y;
+        *x = u;
+        *y = u;
+        count += u.count_ones();
+    }
+    let full = universe as u32;
+    let newly_full =
+        (count == full && *count_a != full) as usize + (count == full && *count_b != full) as usize;
+    let moved = ((count - *count_a) + (count - *count_b)) as usize;
+    *count_a = count;
+    *count_b = count;
+    TransferStats {
+        moved,
+        productive: (moved > 0) as usize,
+        newly_full,
+    }
+}
 
 fn fingerprint_words(words: &[u64], universe: usize, salt: u64) -> u64 {
     if universe <= 64 {
@@ -260,23 +316,135 @@ impl MessageMatrix {
     /// union. Returns the total number of messages that moved (in both
     /// directions together).
     pub fn union_pair(&mut self, i: usize, j: usize) -> usize {
+        self.union_pair_stats(i, j).moved
+    }
+
+    /// [`union_pair`](Self::union_pair) with the full per-pair stats.
+    fn union_pair_stats(&mut self, i: usize, j: usize) -> TransferStats {
         assert_ne!(i, j, "a connection cannot join a node to itself");
         let stride = self.stride;
         let (lo, hi) = (i.min(j), i.max(j));
         let (head, tail) = self.words.split_at_mut(hi * stride);
-        let a = &mut head[lo * stride..lo * stride + stride];
-        let b = &mut tail[..stride];
-        let mut count = 0u32;
-        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
-            let u = *x | *y;
-            *x = u;
-            *y = u;
-            count += u.count_ones();
+        let (counts_head, counts_tail) = self.counts.split_at_mut(hi);
+        union_rows(
+            &mut head[lo * stride..(lo + 1) * stride],
+            &mut tail[..stride],
+            &mut counts_head[lo],
+            &mut counts_tail[0],
+            self.universe,
+        )
+    }
+
+    /// The whole transfer phase of a round: every connection's row pair
+    /// becomes its union, sharded over up to `threads` workers, returning
+    /// the summed [`TransferStats`].
+    ///
+    /// `pairs` **must be node-disjoint** — exactly the matching invariant
+    /// the connection resolver guarantees (debug builds assert it). That
+    /// disjointness is what makes the parallel mutation sound: each worker
+    /// takes a contiguous chunk of pairs and touches only the rows those
+    /// pairs name, which no other worker's pairs can name. It also makes
+    /// the result *byte-identical at any thread count*: each pair's union
+    /// is independent of every other pair, and the stats are sums, so
+    /// neither processing order nor worker count can show through.
+    pub fn union_pairs_parallel(&mut self, pairs: &[Connection], threads: usize) -> TransferStats {
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; self.num_nodes()];
+            for c in pairs {
+                for node in [c.initiator, c.acceptor] {
+                    assert!(
+                        !seen[node.index()],
+                        "transfer pairs must be node-disjoint: {node} appears twice"
+                    );
+                    seen[node.index()] = true;
+                }
+            }
         }
-        let moved = (count - self.counts[lo]) + (count - self.counts[hi]);
-        self.counts[lo] = count;
-        self.counts[hi] = count;
-        moved as usize
+
+        // Below this, thread spawn overhead outweighs the row unions. The
+        // cutoff is a fixed property of the input (never of the thread
+        // count alone deciding *which* math runs), so results stay
+        // identical either way — the serial and parallel paths compute the
+        // same per-pair unions and the same sums.
+        const PAR_MIN_PAIRS: usize = 512;
+        let threads = threads.clamp(1, pairs.len().max(1));
+        if threads == 1 || pairs.len() < PAR_MIN_PAIRS {
+            let mut total = TransferStats::default();
+            for c in pairs {
+                total += self.union_pair_stats(c.initiator.index(), c.acceptor.index());
+            }
+            return total;
+        }
+
+        struct Rows {
+            words: *mut u64,
+            counts: *mut u32,
+        }
+        // SAFETY: `Rows` only crosses into scoped workers below, which
+        // dereference it exclusively at row offsets named by their own
+        // chunk of node-disjoint pairs — no two workers touch the same
+        // row, and the scope ends before `self` is usable again.
+        unsafe impl Sync for Rows {}
+
+        let stride = self.stride;
+        let universe = self.universe;
+        let rows = &Rows {
+            words: self.words.as_mut_ptr(),
+            counts: self.counts.as_mut_ptr(),
+        };
+        let chunk = pairs.len().div_ceil(threads);
+        let totals: Vec<TransferStats> = std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk)
+                .map(|chunk_pairs| {
+                    s.spawn(move || {
+                        let mut local = TransferStats::default();
+                        for c in chunk_pairs {
+                            let (i, j) = (c.initiator.index(), c.acceptor.index());
+                            debug_assert_ne!(i, j);
+                            // SAFETY: rows `i` and `j` belong to this
+                            // worker alone — the pairs are node-disjoint
+                            // and chunked by pair, so no other worker
+                            // names either row — and `i != j`, so the
+                            // four reconstituted borrows are themselves
+                            // disjoint. All offsets are in bounds: pairs
+                            // index nodes of this matrix.
+                            local += unsafe {
+                                let a = std::slice::from_raw_parts_mut(
+                                    rows.words.add(i * stride),
+                                    stride,
+                                );
+                                let b = std::slice::from_raw_parts_mut(
+                                    rows.words.add(j * stride),
+                                    stride,
+                                );
+                                union_rows(
+                                    a,
+                                    b,
+                                    &mut *rows.counts.add(i),
+                                    &mut *rows.counts.add(j),
+                                    universe,
+                                )
+                            };
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("transfer worker panicked"))
+                .collect()
+        });
+        // Fold the per-worker deltas in worker order — i.e. node order,
+        // since chunks are contiguous. (The sums are order-independent
+        // anyway; the fixed order keeps that fact uninteresting.)
+        let mut total = TransferStats::default();
+        for t in totals {
+            total += t;
+        }
+        total
     }
 
     /// How many nodes hold the full universe.
@@ -410,6 +578,106 @@ mod tests {
         assert_eq!(v.fingerprint(), s.fingerprint());
         assert_eq!(v.fingerprint_salted(9), s.fingerprint_salted(9));
         assert!(v.contains(64) && !v.contains(4));
+    }
+
+    /// A matrix of `n` nodes over a 130-message universe (3 words/row),
+    /// each row seeded pseudo-randomly, plus the disjoint pair list
+    /// `(2p, 2p+1)`.
+    fn transfer_fixture(n: usize) -> (MessageMatrix, Vec<Connection>) {
+        use crate::{NodeId, Rng};
+        let mut m = MessageMatrix::new(n, 130);
+        let mut rng = Rng::new(0xabcd);
+        for u in 0..n {
+            for _ in 0..8 {
+                m.insert(u, rng.gen_range(130));
+            }
+        }
+        let pairs = (0..n / 2)
+            .map(|p| Connection {
+                initiator: NodeId((2 * p) as u32),
+                acceptor: NodeId((2 * p + 1) as u32),
+            })
+            .collect();
+        (m, pairs)
+    }
+
+    #[test]
+    fn union_pairs_parallel_matches_the_serial_loop_at_any_thread_count() {
+        // 2000 nodes / 1000 pairs: enough to cross the parallel cutoff.
+        let (serial_m, pairs) = transfer_fixture(2000);
+        let mut serial = serial_m.clone();
+        let mut productive = 0usize;
+        let mut moved = 0usize;
+        let mut newly_full = 0usize;
+        for c in &pairs {
+            let (i, j) = (c.initiator.index(), c.acceptor.index());
+            let before_i = serial.is_full(i);
+            let before_j = serial.is_full(j);
+            let m = serial.union_pair(i, j);
+            moved += m;
+            productive += (m > 0) as usize;
+            newly_full += (serial.is_full(i) && !before_i) as usize;
+            newly_full += (serial.is_full(j) && !before_j) as usize;
+        }
+        for threads in [1usize, 2, 8] {
+            let mut par = serial_m.clone();
+            let stats = par.union_pairs_parallel(&pairs, threads);
+            assert_eq!(par, serial, "threads={threads}: matrices diverged");
+            assert_eq!(
+                stats,
+                TransferStats {
+                    moved,
+                    productive,
+                    newly_full
+                },
+                "threads={threads}: stats diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn union_pairs_parallel_counts_newly_full_endpoints() {
+        use crate::NodeId;
+        let mut m = MessageMatrix::new(2, 4);
+        for id in 0..4 {
+            m.insert(0, id);
+        }
+        m.insert(1, 0);
+        let stats = m.union_pairs_parallel(
+            &[Connection {
+                initiator: NodeId(0),
+                acceptor: NodeId(1),
+            }],
+            4,
+        );
+        assert_eq!(
+            stats,
+            TransferStats {
+                moved: 3,
+                productive: 1,
+                newly_full: 1
+            }
+        );
+        assert_eq!(m.full_count(), 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "node-disjoint")]
+    fn union_pairs_parallel_rejects_overlapping_pairs_in_debug() {
+        use crate::NodeId;
+        let mut m = MessageMatrix::new(3, 8);
+        let overlapping = [
+            Connection {
+                initiator: NodeId(0),
+                acceptor: NodeId(1),
+            },
+            Connection {
+                initiator: NodeId(1),
+                acceptor: NodeId(2),
+            },
+        ];
+        m.union_pairs_parallel(&overlapping, 2);
     }
 
     #[test]

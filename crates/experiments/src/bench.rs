@@ -4,11 +4,17 @@
 //! though its gossip would take hundreds of thousands of rounds to
 //! finish.
 
-use crate::emit::{json_num, json_str, SCHEMA_VERSION};
+use crate::emit::{json_num, json_str};
 use crate::spec::Scenario;
-use gossip_sim::{Scheduler, SimConfig, SyncScheduler};
+use gossip_sim::{SimConfig, SyncScheduler};
 
 use std::time::Instant;
+
+/// Version of the bench line format, independent of the run/grid
+/// [`SCHEMA_VERSION`](crate::emit::SCHEMA_VERSION) (which stays at 1 —
+/// run and grid lines are unchanged). Version 2 added the `phase_ms`
+/// per-phase timing breakdown.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// One bench invocation: a [`Scenario`] (built by the same
 /// [`ScenarioBuilder`](crate::ScenarioBuilder) as every other front-end,
@@ -57,6 +63,37 @@ pub struct BenchReport {
     pub total_connections: usize,
     pub productive_connections: usize,
     pub complete_nodes: usize,
+    /// Wall time of each round-loop phase, summed over rounds. The four
+    /// phases account for essentially all of `wall_ms`; comparing
+    /// breakdowns across `--threads` shows which phases a thread count
+    /// actually buys down.
+    pub phase_ms: PhaseMs,
+}
+
+/// Per-phase wall-clock milliseconds of the synchronous round loop
+/// (engine [`gossip_sim::PhaseTimings`], converted for reporting).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseMs {
+    /// Phase 1: advertisement refresh.
+    pub advertise: f64,
+    /// Phase 2: scan + intent decision.
+    pub decide: f64,
+    /// Phase 3: connection matching.
+    pub matching: f64,
+    /// Phase 4: push-pull transfer.
+    pub transfer: f64,
+}
+
+impl From<gossip_sim::PhaseTimings> for PhaseMs {
+    fn from(t: gossip_sim::PhaseTimings) -> Self {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        PhaseMs {
+            advertise: ms(t.advertise),
+            decide: ms(t.decide),
+            matching: ms(t.matching),
+            transfer: ms(t.transfer),
+        }
+    }
 }
 
 /// Run one engine benchmark: build the topology (timed separately), run
@@ -78,7 +115,7 @@ pub fn run_bench(bench: &BenchScenario) -> BenchReport {
     };
     let scheduler = SyncScheduler::with_threads(threads);
     let running = Instant::now();
-    let result = scheduler.run(
+    let (result, timings) = scheduler.run_with_timings(
         &topology,
         protocol.as_ref(),
         &sources,
@@ -106,16 +143,17 @@ pub fn run_bench(bench: &BenchScenario) -> BenchReport {
         total_connections: result.total_connections,
         productive_connections: result.productive_connections,
         complete_nodes: result.complete_nodes,
+        phase_ms: timings.into(),
     }
 }
 
 /// Serialize a bench report as one JSON line, shaped for appending to
-/// `BENCH_*.json` trajectory files. Carries the same `schema` version and
-/// `scenario_id` stamps as run/grid lines.
+/// `BENCH_*.json` trajectory files. Versioned by [`BENCH_SCHEMA_VERSION`]
+/// and stamped with the same `scenario_id` as run/grid lines.
 pub fn bench_to_json(report: &BenchReport) -> String {
-    let mut out = String::with_capacity(512);
+    let mut out = String::with_capacity(640);
     out.push('{');
-    json_num(&mut out, "schema", SCHEMA_VERSION);
+    json_num(&mut out, "schema", BENCH_SCHEMA_VERSION);
     out.push(',');
     json_str(&mut out, "bench", "sync_round_loop");
     out.push(',');
@@ -142,6 +180,14 @@ pub fn bench_to_json(report: &BenchReport) -> String {
     json_num(&mut out, "build_ms", report.build_ms);
     out.push(',');
     json_num(&mut out, "wall_ms", report.wall_ms);
+    out.push(',');
+    out.push_str(&format!(
+        "\"phase_ms\":{{\"advertise\":{:.2},\"decide\":{:.2},\"match\":{:.2},\"transfer\":{:.2}}}",
+        report.phase_ms.advertise,
+        report.phase_ms.decide,
+        report.phase_ms.matching,
+        report.phase_ms.transfer
+    ));
     out.push(',');
     out.push_str(&format!(
         "\"rounds_per_sec\":{:.2},\"node_events_per_sec\":{:.2}",
@@ -196,7 +242,7 @@ mod tests {
 
         let json = bench_to_json(&report);
         for key in [
-            "\"schema\":1",
+            "\"schema\":2",
             "\"bench\":\"sync_round_loop\"",
             "\"scenario_id\":\"ring-advert-sync-n2000-k1-s5\"",
             "\"topology\":\"ring\"",
@@ -204,6 +250,10 @@ mod tests {
             "\"threads\":1",
             "\"round_budget\":32",
             "\"rounds_executed\":32",
+            "\"phase_ms\":{\"advertise\":",
+            "\"decide\":",
+            "\"match\":",
+            "\"transfer\":",
             "\"rounds_per_sec\":",
             "\"node_events_per_sec\":",
             "\"wall_ms\":",

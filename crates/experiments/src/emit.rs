@@ -89,6 +89,14 @@ pub fn to_json(result: &SimResult) -> String {
     );
     out.push(',');
     json_num(&mut out, "complete_nodes", result.complete_nodes as u64);
+    // Emitted only when nonzero — like `dynamics`, absence is the normal
+    // case, and conditional emission keeps clean static runs serializing
+    // byte-identically to pre-counter builds (the serialization pins rely
+    // on that).
+    if result.dropped_proposals > 0 {
+        out.push(',');
+        json_num(&mut out, "dropped_proposals", result.dropped_proposals);
+    }
     if let Some(d) = &result.dynamics {
         out.push_str(",\"dynamics\":{");
         json_str(&mut out, "model", &d.model);
@@ -180,9 +188,9 @@ pub fn csv_header() -> &'static str {
     "schema,scenario_id,topology,protocol,scheduler,nodes,messages,seed,\
      completed,rounds_to_completion,rounds_executed,virtual_time,\
      virtual_time_to_completion,total_connections,productive_connections,\
-     wasted_connections,complete_nodes,dynamics_model,departures,rejoins,\
-     edge_downs,edge_ups,rewires,severed_connections,peak_alive,min_alive,\
-     final_alive,threads,wall_ms"
+     wasted_connections,complete_nodes,dropped_proposals,dynamics_model,\
+     departures,rejoins,edge_downs,edge_ups,rewires,severed_connections,\
+     peak_alive,min_alive,final_alive,threads,wall_ms"
 }
 
 /// Serialize one run as a CSV row matching [`csv_header`]. Absent values
@@ -212,6 +220,7 @@ pub fn run_line_csv(scenario_id: &str, result: &SimResult, meta: &RunMeta) -> St
         result.productive_connections.to_string(),
         result.wasted_connections.to_string(),
         result.complete_nodes.to_string(),
+        result.dropped_proposals.to_string(),
     ];
     fields.push(d.map(|d| d.model.clone()).unwrap_or_default());
     for value in [

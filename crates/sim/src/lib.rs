@@ -37,7 +37,7 @@ mod scheduler;
 
 pub use event_driven::AsyncScheduler;
 pub use metrics::{CoveragePoint, DynamicsStats, RoundStats, SimResult};
-pub use scheduler::{Scheduler, SyncScheduler};
+pub use scheduler::{PhaseTimings, Scheduler, SyncScheduler};
 
 use gossip_core::{NodeId, Rng, Topology};
 use gossip_protocols::GossipProtocol;

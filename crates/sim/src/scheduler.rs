@@ -12,24 +12,32 @@
 //!
 //! - per-node gossip state lives in a [`MessageMatrix`]
 //!   (struct-of-arrays), advertisements and intents in flat arrays;
-//! - the advertise and scan/decide phases shard across
-//!   `std::thread::scope` workers, each owning a contiguous node range;
+//! - **all four phases** shard across `std::thread::scope` workers:
+//!   advertise and scan/decide over contiguous node ranges, matching via
+//!   the partitioned resolver
+//!   ([`resolve_connections_sharded`](gossip_core::resolve_connections_sharded)),
+//!   and transfer over the round's node-disjoint matched pairs
+//!   ([`MessageMatrix::union_pairs_parallel`]);
 //! - **determinism is independent of the thread count**: each node's
 //!   protocol randomness comes from its own stream
-//!   `Rng::stream(seed, round, node)` and the matching shuffle from the
-//!   round stream `Rng::stream(seed, round, MATCHING_STREAM)`, and
-//!   workers write intents into node-indexed slots (a merge in node
-//!   order), so `threads = 1` and `threads = 64` produce byte-identical
-//!   [`SimResult`]s. Round-count regressions pin this down.
+//!   `Rng::stream(seed, round, node)` and each matching region from its
+//!   own `(seed, round, region)` stream over a *fixed* partition
+//!   ([`gossip_core::MATCH_REGIONS`] blocks, regardless of workers), and
+//!   every merge happens in node order — so `threads = 1` and
+//!   `threads = 64` produce byte-identical [`SimResult`]s. Round-count
+//!   regressions pin this down.
 
 use crate::dynamic::DynRun;
 use crate::metrics::RoundStats;
 use crate::{SimConfig, SimResult};
 
+use std::time::{Duration, Instant};
+
 use gossip_core::time::{SimTime, TICKS_PER_ROUND};
 use gossip_core::topology::GraphView;
 use gossip_core::{
-    resolve_connections, Advertisement, Intent, MessageMatrix, NodeId, Rng, Topology,
+    resolve_connections_sharded, Advertisement, Intent, MessageMatrix, NodeId, Rng, Topology,
+    MATCH_REGIONS,
 };
 use gossip_dynamics::DynamicsModel;
 use gossip_protocols::{GossipProtocol, NodeCtx};
@@ -109,16 +117,29 @@ pub(crate) fn init_run(
         productive_connections: 0,
         wasted_connections: 0,
         complete_nodes,
+        dropped_proposals: 0,
         dynamics: None,
         rounds: config.record_rounds.then(|| config.history_vec()),
     };
     (states, result)
 }
 
-/// Stream coordinate reserved for the per-round matching shuffle. Node
-/// streams use the node id as their coordinate; ids are `u32`, so this
-/// value can never collide with one.
-const MATCHING_STREAM: u64 = u64::MAX;
+/// Wall-clock time spent in each phase of the synchronous round loop,
+/// summed across rounds. Reported alongside (never inside) [`SimResult`]
+/// — results must be a pure function of the inputs, and wall clocks are
+/// anything but — so the bench harness can show *which* phase a thread
+/// count is buying down.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Phase 1: refreshing every node's advertisement tag.
+    pub advertise: Duration,
+    /// Phase 2: every node scans neighbor tags and commits an intent.
+    pub decide: Duration,
+    /// Phase 3: the partitioned matching resolver.
+    pub matching: Duration,
+    /// Phase 4: push-pull transfer over the matched pairs.
+    pub transfer: Duration,
+}
 
 /// The synchronous round-based scheduler from the PODC 2017 paper: every
 /// round, all nodes advertise, scan, commit an intent, the batch matching
@@ -149,6 +170,111 @@ impl SyncScheduler {
         SyncScheduler {
             threads: threads.max(1),
         }
+    }
+
+    /// [`run`](Scheduler::run), additionally reporting how long each
+    /// phase took ([`PhaseTimings`], summed over rounds). The `SimResult`
+    /// is identical to `run`'s — the timings ride alongside so benches
+    /// can break the wall time down per phase without perturbing
+    /// deterministic output.
+    pub fn run_with_timings(
+        &self,
+        topology: &Topology,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> (SimResult, PhaseTimings) {
+        let n = topology.num_nodes();
+        let mut timings = PhaseTimings::default();
+        let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
+        if result.completed {
+            return (result, timings);
+        }
+        let mut complete_nodes = result.complete_nodes;
+
+        let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
+        let mut intents: Vec<Intent> = vec![Intent::Idle; n];
+
+        for round in 1..=config.max_rounds {
+            // Phase 1: advertise — all tags published before anyone scans.
+            let t0 = Instant::now();
+            advertise_phase(
+                None,
+                protocol,
+                &states,
+                &mut ads,
+                round as u64,
+                self.threads,
+            );
+
+            // Phase 2: every node scans and commits an intent.
+            let t1 = Instant::now();
+            scan_phase(
+                topology,
+                None,
+                protocol,
+                &states,
+                &ads,
+                &mut intents,
+                seed,
+                round as u64,
+                self.threads,
+            );
+
+            // Phase 3: connection resolution — the partitioned parallel
+            // matching over a fixed region grid.
+            let t2 = Instant::now();
+            let resolution = resolve_connections_sharded(
+                topology,
+                &intents,
+                seed,
+                round as u64,
+                MATCH_REGIONS,
+                self.threads,
+            );
+
+            // Phase 4: push-pull transfer over the (node-disjoint)
+            // matched pairs.
+            let t3 = Instant::now();
+            let transfer = states.union_pairs_parallel(&resolution.connections, self.threads);
+            let t4 = Instant::now();
+
+            timings.advertise += t1 - t0;
+            timings.decide += t2 - t1;
+            timings.matching += t3 - t2;
+            timings.transfer += t4 - t3;
+
+            complete_nodes += transfer.newly_full;
+            let formed = resolution.connections.len();
+            result.rounds_executed = round;
+            result.total_connections += formed;
+            result.productive_connections += transfer.productive;
+            result.wasted_connections += formed - transfer.productive;
+            result.dropped_proposals += resolution.dropped_proposals;
+            if let Some(history) = &mut result.rounds {
+                history.push(RoundStats {
+                    round,
+                    connections: formed,
+                    productive: transfer.productive,
+                    complete_nodes,
+                    messages_held: states.total_messages(),
+                });
+            }
+
+            if complete_nodes == n {
+                result.completed = true;
+                result.rounds_to_completion = Some(round);
+                break;
+            }
+        }
+
+        result.complete_nodes = complete_nodes;
+        result.virtual_time = result.rounds_executed as u64 * TICKS_PER_ROUND;
+        result.virtual_time_to_completion = result
+            .rounds_to_completion
+            .map(|r| r as u64 * TICKS_PER_ROUND);
+        (result, timings)
     }
 }
 
@@ -209,28 +335,21 @@ fn decide_range<G: GraphView + ?Sized>(
     }
 }
 
-/// Phases 1+2 of a round — advertise, then scan and commit intents —
-/// sharded over `threads` workers in contiguous node ranges. Workers
-/// synchronize once between the phases (all tags must be published before
-/// anyone scans); intents land in node-indexed slots, which *is* the
-/// deterministic node-order merge.
-#[allow(clippy::too_many_arguments)]
-fn decide_phase<G: GraphView + Sync + ?Sized>(
-    graph: &G,
+/// Phase 1 of a round — refresh every tag — sharded over `threads`
+/// workers in contiguous node ranges. Must complete before anyone scans:
+/// all tags of round `r` are published before any node reads one.
+fn advertise_phase(
     alive: Option<&[bool]>,
     protocol: &dyn GossipProtocol,
     states: &MessageMatrix,
     ads: &mut [Advertisement],
-    intents: &mut [Intent],
-    seed: u64,
     round: u64,
     threads: usize,
 ) {
-    let n = intents.len();
+    let n = ads.len();
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
         advertise_range(0, ads, alive, protocol, states, round);
-        decide_range(0, intents, graph, alive, protocol, states, ads, seed, round);
         return;
     }
     let chunk = n.div_ceil(threads);
@@ -239,7 +358,31 @@ fn decide_phase<G: GraphView + Sync + ?Sized>(
             s.spawn(move || advertise_range(w * chunk, ads_chunk, alive, protocol, states, round));
         }
     });
-    let ads: &[Advertisement] = ads;
+}
+
+/// Phase 2 of a round — every node scans the published tags and commits
+/// an intent — sharded over `threads` workers in contiguous node ranges.
+/// Intents land in node-indexed slots, which *is* the deterministic
+/// node-order merge.
+#[allow(clippy::too_many_arguments)]
+fn scan_phase<G: GraphView + Sync + ?Sized>(
+    graph: &G,
+    alive: Option<&[bool]>,
+    protocol: &dyn GossipProtocol,
+    states: &MessageMatrix,
+    ads: &[Advertisement],
+    intents: &mut [Intent],
+    seed: u64,
+    round: u64,
+    threads: usize,
+) {
+    let n = intents.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        decide_range(0, intents, graph, alive, protocol, states, ads, seed, round);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
     std::thread::scope(|s| {
         for (w, intents_chunk) in intents.chunks_mut(chunk).enumerate() {
             s.spawn(move || {
@@ -272,77 +415,8 @@ impl Scheduler for SyncScheduler {
         seed: u64,
         config: &SimConfig,
     ) -> SimResult {
-        let n = topology.num_nodes();
-        let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
-        if result.completed {
-            return result;
-        }
-        let mut complete_nodes = result.complete_nodes;
-
-        let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
-        let mut intents: Vec<Intent> = vec![Intent::Idle; n];
-
-        for round in 1..=config.max_rounds {
-            // Phases 1+2: advertise, then every node scans and commits an
-            // intent (sharded; see decide_phase).
-            decide_phase(
-                topology,
-                None,
-                protocol,
-                &states,
-                &mut ads,
-                &mut intents,
-                seed,
-                round as u64,
-                self.threads,
-            );
-
-            // Phase 3: connection resolution (the matching), from the
-            // round's own stream.
-            let mut match_rng = Rng::stream(seed, round as u64, MATCHING_STREAM);
-            let connections = resolve_connections(topology, &intents, &mut match_rng);
-
-            // Phase 4: push-pull transfer over each connection.
-            let mut productive = 0;
-            for c in &connections {
-                let (i, j) = (c.initiator.index(), c.acceptor.index());
-                let before_i = states.is_full(i);
-                let before_j = states.is_full(j);
-                let moved = states.union_pair(i, j);
-                if moved > 0 {
-                    productive += 1;
-                }
-                complete_nodes += (states.is_full(i) && !before_i) as usize;
-                complete_nodes += (states.is_full(j) && !before_j) as usize;
-            }
-
-            result.rounds_executed = round;
-            result.total_connections += connections.len();
-            result.productive_connections += productive;
-            result.wasted_connections += connections.len() - productive;
-            if let Some(history) = &mut result.rounds {
-                history.push(RoundStats {
-                    round,
-                    connections: connections.len(),
-                    productive,
-                    complete_nodes,
-                    messages_held: states.total_messages(),
-                });
-            }
-
-            if complete_nodes == n {
-                result.completed = true;
-                result.rounds_to_completion = Some(round);
-                break;
-            }
-        }
-
-        result.complete_nodes = complete_nodes;
-        result.virtual_time = result.rounds_executed as u64 * TICKS_PER_ROUND;
-        result.virtual_time_to_completion = result
-            .rounds_to_completion
-            .map(|r| r as u64 * TICKS_PER_ROUND);
-        result
+        self.run_with_timings(topology, protocol, sources, seed, config)
+            .0
     }
 
     /// The dynamic-topology variant of the round loop. Mutations apply at
@@ -388,46 +462,54 @@ impl Scheduler for SyncScheduler {
 
             // Phases 1+2 over alive nodes only: dead nodes neither
             // advertise nor scan, and active neighbor views exclude them.
-            decide_phase(
-                &dynr.topo,
-                Some(dynr.topo.alive_mask()),
+            let alive = Some(dynr.topo.alive_mask());
+            advertise_phase(
+                alive,
                 protocol,
                 &states,
                 &mut ads,
+                round as u64,
+                self.threads,
+            );
+            scan_phase(
+                &dynr.topo,
+                alive,
+                protocol,
+                &states,
+                &ads,
                 &mut intents,
                 seed,
                 round as u64,
                 self.threads,
             );
 
-            // Phases 3+4 against the active graph view.
-            let mut match_rng = Rng::stream(seed, round as u64, MATCHING_STREAM);
-            let connections = resolve_connections(&dynr.topo, &intents, &mut match_rng);
-            let mut productive = 0;
-            for c in &connections {
-                let (i, j) = (c.initiator.index(), c.acceptor.index());
-                let before_i = states.is_full(i);
-                let before_j = states.is_full(j);
-                let moved = states.union_pair(i, j);
-                if moved > 0 {
-                    productive += 1;
-                }
-                // Both endpoints are alive: dead nodes cannot match.
-                dynr.alive_informed += (states.is_full(i) && !before_i) as usize;
-                dynr.alive_informed += (states.is_full(j) && !before_j) as usize;
-                dynr.alive_messages += moved;
-            }
+            // Phases 3+4 against the active graph view — the identical
+            // sharded resolver and transfer as the static loop. Both
+            // endpoints of every pair are alive: dead nodes cannot match.
+            let resolution = resolve_connections_sharded(
+                &dynr.topo,
+                &intents,
+                seed,
+                round as u64,
+                MATCH_REGIONS,
+                self.threads,
+            );
+            let transfer = states.union_pairs_parallel(&resolution.connections, self.threads);
+            dynr.alive_informed += transfer.newly_full;
+            dynr.alive_messages += transfer.moved;
 
+            let formed = resolution.connections.len();
             result.rounds_executed = round;
-            result.total_connections += connections.len();
-            result.productive_connections += productive;
-            result.wasted_connections += connections.len() - productive;
+            result.total_connections += formed;
+            result.productive_connections += transfer.productive;
+            result.wasted_connections += formed - transfer.productive;
+            result.dropped_proposals += resolution.dropped_proposals;
             dynr.record(horizon);
             if let Some(history) = &mut result.rounds {
                 history.push(RoundStats {
                     round,
-                    connections: connections.len(),
-                    productive,
+                    connections: formed,
+                    productive: transfer.productive,
                     complete_nodes: dynr.alive_informed,
                     messages_held: dynr.alive_messages,
                 });

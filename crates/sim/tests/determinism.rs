@@ -1,11 +1,15 @@
 //! Thread-count independence of the sharded synchronous engine: the
-//! per-node RNG streams (`Rng::stream(seed, round, node)`) and the
-//! node-order intent merge make the parallel round loop a pure function
-//! of the inputs, so `--threads 1`, `2`, and `8` must produce *identical*
-//! `SimResult`s — full structural equality, history and dynamics stats
-//! included — across every topology family, protocol, and both static
-//! and dynamic runs. Plus the pinned 1000-ring advert regression,
-//! re-verified against the CSR engine at several thread counts.
+//! per-node RNG streams (`Rng::stream(seed, round, node)`), the fixed
+//! region partition of the matching resolver, and the node-order merges
+//! make the parallel round loop a pure function of the inputs, so
+//! `--threads 1`, `2`, and `8` must produce *identical* `SimResult`s —
+//! full structural equality, history and dynamics stats included — across
+//! every topology family, protocol, and both static and dynamic runs.
+//! The small-`n` cases run every proposal through the resolver's boundary
+//! sweep (blocks of ≲1 node); the larger cases give every region a
+//! multi-node block so the parallel confined pass and the sweep are both
+//! load-bearing. Plus the pinned 1000-ring advert regression, re-verified
+//! against the CSR engine at several thread counts.
 
 use gossip_core::{NodeId, Rng, Topology};
 use gossip_dynamics::{
@@ -44,6 +48,39 @@ fn static_runs_are_identical_at_any_thread_count() {
     for topo in topologies(64) {
         for proto in protocols() {
             for k in [1usize, 3] {
+                let baseline = run_static(1, &topo, proto, k);
+                assert!(
+                    baseline.completed,
+                    "{} on {} must complete",
+                    proto.name(),
+                    topo.name()
+                );
+                for threads in THREAD_COUNTS {
+                    let sharded = run_static(threads, &topo, proto, k);
+                    assert_eq!(
+                        baseline,
+                        sharded,
+                        "{} on {} (k={k}): {threads}-thread run diverged from serial",
+                        proto.name(),
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_region_static_runs_are_identical_at_any_thread_count() {
+    // With MATCH_REGIONS = 64 fixed blocks, n must comfortably exceed 64
+    // before regions hold several nodes each — only then do confined
+    // proposals resolve inside parallel regions rather than all deferring
+    // to the serial boundary sweep. k = 65 additionally pushes message
+    // state into the hashed-fingerprint, multi-word regime, so the
+    // parallel transfer unions more than one word per row.
+    for topo in topologies(384) {
+        for proto in protocols() {
+            for k in [3usize, 65] {
                 let baseline = run_static(1, &topo, proto, k);
                 assert!(
                     baseline.completed,
