@@ -52,9 +52,11 @@ SUBCOMMANDS:
              parameter grid and run every cell in one invocation, streaming
              one output line per run; each cell's result is byte-identical
              to the same scenario run standalone
-    bench    time the synchronous engine for a fixed number of rounds and
-             report throughput (rounds/sec, node-events/sec) plus the
-             deterministic accounting totals as one JSON line
+    bench    time the scenario's engine for a fixed round budget and report
+             throughput plus the deterministic accounting totals as one JSON
+             line: sync specs bench the round loop (rounds/sec,
+             node-events/sec, per-phase breakdown), async specs the sliced
+             event loop (events/sec, execute/merge/sweep breakdown)
 
 GRID OPTIONS:
     --spec <FILE>                               spec file: [scenario] key = value base
@@ -392,12 +394,13 @@ mod tests {
             "500",
         ]);
         assert_eq!(scenario.seeds, 8);
-        let SchedulerSpec::Async { timing } = scenario.scheduler else {
+        let SchedulerSpec::Async { timing, threads } = scenario.scheduler else {
             panic!("expected the async scheduler");
         };
         assert_eq!(timing.drift, 0.25);
         assert_eq!(timing.min_latency, 10);
         assert_eq!(timing.max_latency, 500);
+        assert_eq!(threads, 1);
     }
 
     #[test]
@@ -420,12 +423,12 @@ mod tests {
         );
         assert!(parse(&["--threads", "0"]).is_err(), "zero workers rejected");
         assert!(parse(&["--threads", "many"]).is_err());
-        assert!(
-            parse(&["--threads", "2", "--scheduler", "async"]).is_err(),
-            "the event-driven scheduler is serial"
-        );
-        // One worker under async is the serial engine — fine.
-        assert!(parse(&["--threads", "1", "--scheduler", "async"]).is_ok());
+        // The time-sliced async engine shards over threads too.
+        let scenario = parse_run(&["--threads", "2", "--scheduler", "async"]);
+        assert!(matches!(
+            scenario.scheduler,
+            SchedulerSpec::Async { threads: 2, .. }
+        ));
     }
 
     #[test]

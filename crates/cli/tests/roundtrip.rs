@@ -98,7 +98,9 @@ fn random_flags(rng: &mut Rng) -> Vec<String> {
             push("--min-latency", min.to_string());
             push("--max-latency", max.to_string());
         }
-    } else if rng.gen_bool() {
+    }
+    // Both schedulers shard over worker threads now.
+    if rng.gen_bool() {
         push("--threads", (1 + rng.gen_range(8)).to_string());
     }
 

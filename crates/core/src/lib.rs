@@ -47,9 +47,9 @@ pub mod topology;
 pub use dynamic::DynamicTopology;
 pub use matching::{
     resolve_connections, resolve_connections_sharded, Connection, IncrementalMatcher, Intent,
-    PeerState, Resolution, MATCH_REGIONS,
+    MatcherChunk, PeerState, Resolution, MATCH_REGIONS,
 };
-pub use message::{MessageMatrix, MessageSet, MsgView, TransferStats};
+pub use message::{MatrixChunk, MessageMatrix, MessageSet, MsgView, TransferStats};
 pub use rng::Rng;
 pub use time::{SimTime, TimingConfig, TICKS_PER_ROUND};
 pub use topology::{GraphView, RggGeometry, Topology};

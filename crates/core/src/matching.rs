@@ -489,6 +489,111 @@ impl IncrementalMatcher {
         self.states[a.index()] = PeerState::Free;
         self.states[b.index()] = PeerState::Free;
     }
+
+    /// Split the matcher into disjoint mutable blocks of `block`
+    /// contiguous nodes each (the last block may be shorter) — the
+    /// region-parallel access pattern of the time-sliced event engine.
+    /// Each [`MatcherChunk`] owns its nodes' states exclusively, so
+    /// workers on different chunks resolve region-local events
+    /// concurrently in safe Rust; chunk methods take the same [`NodeId`]s
+    /// as their full-matcher counterparts and enforce the identical state
+    /// transitions.
+    pub fn region_chunks(&mut self, block: usize) -> impl Iterator<Item = MatcherChunk<'_>> {
+        assert!(block > 0, "region block size must be non-zero");
+        self.states
+            .chunks_mut(block)
+            .enumerate()
+            .map(move |(i, states)| MatcherChunk {
+                base: i * block,
+                states,
+            })
+    }
+}
+
+/// Exclusive access to nodes `base..base + len` of an
+/// [`IncrementalMatcher`], produced by
+/// [`IncrementalMatcher::region_chunks`]. Every node passed to a chunk
+/// method must fall inside the chunk's range (debug-asserted) — the
+/// time-sliced event engine guarantees this by deferring events whose
+/// endpoints straddle regions to its serial boundary sweep.
+pub struct MatcherChunk<'a> {
+    base: usize,
+    states: &'a mut [PeerState],
+}
+
+impl MatcherChunk<'_> {
+    /// First node index owned by this chunk.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        debug_assert!(
+            node.index() >= self.base && node.index() - self.base < self.states.len(),
+            "node {node} outside chunk {}..{}",
+            self.base,
+            self.base + self.states.len()
+        );
+        node.index() - self.base
+    }
+
+    /// Current state of `node`.
+    pub fn state(&self, node: NodeId) -> PeerState {
+        self.states[self.local(node)]
+    }
+
+    /// `Free → Listening`; see [`IncrementalMatcher::listen`].
+    pub fn listen(&mut self, node: NodeId) {
+        let l = self.local(node);
+        debug_assert_eq!(self.states[l], PeerState::Free);
+        self.states[l] = PeerState::Listening;
+    }
+
+    /// `Free → Proposing`; see [`IncrementalMatcher::propose`].
+    pub fn propose(&mut self, node: NodeId) {
+        let l = self.local(node);
+        debug_assert_eq!(self.states[l], PeerState::Free);
+        self.states[l] = PeerState::Proposing;
+    }
+
+    /// `Listening | Proposing → Free`; see [`IncrementalMatcher::cancel`].
+    pub fn cancel(&mut self, node: NodeId) {
+        let l = self.local(node);
+        debug_assert!(matches!(
+            self.states[l],
+            PeerState::Listening | PeerState::Proposing
+        ));
+        self.states[l] = PeerState::Free;
+    }
+
+    /// Resolve `initiator`'s arriving proposal against `acceptor`, both in
+    /// this chunk; see [`IncrementalMatcher::try_connect`].
+    pub fn try_connect<G: GraphView + ?Sized>(
+        &mut self,
+        topology: &G,
+        initiator: NodeId,
+        acceptor: NodeId,
+    ) -> bool {
+        let (li, la) = (self.local(initiator), self.local(acceptor));
+        debug_assert_eq!(self.states[li], PeerState::Proposing);
+        if !topology.are_neighbors(initiator, acceptor) || self.states[la] != PeerState::Listening {
+            return false;
+        }
+        self.states[li] = PeerState::Connected;
+        self.states[la] = PeerState::Connected;
+        true
+    }
+
+    /// `Connected → Free` for both endpoints; see
+    /// [`IncrementalMatcher::release`].
+    pub fn release(&mut self, a: NodeId, b: NodeId) {
+        let (la, lb) = (self.local(a), self.local(b));
+        debug_assert_eq!(self.states[la], PeerState::Connected);
+        debug_assert_eq!(self.states[lb], PeerState::Connected);
+        self.states[la] = PeerState::Free;
+        self.states[lb] = PeerState::Free;
+    }
 }
 
 #[cfg(test)]
@@ -509,6 +614,51 @@ mod tests {
             }]
         );
         assert_eq!(res.dropped_proposals, 0);
+    }
+
+    #[test]
+    fn matcher_chunks_mirror_full_matcher_transitions() {
+        // 6-node ring split into blocks of 3: run the same transition
+        // sequence through chunked and full matchers and compare states.
+        let topo = Topology::ring(6);
+        let mut full = IncrementalMatcher::new(6);
+        let mut chunked = IncrementalMatcher::new(6);
+        {
+            let mut chunks: Vec<_> = chunked.region_chunks(3).collect();
+            assert_eq!(chunks.len(), 2);
+            assert_eq!(chunks[0].base(), 0);
+            assert_eq!(chunks[1].base(), 3);
+            // In-chunk pair 0-1 (block 0) and 4-5 (block 1).
+            chunks[0].listen(NodeId(1));
+            chunks[0].propose(NodeId(0));
+            assert!(chunks[0].try_connect(&topo, NodeId(0), NodeId(1)));
+            chunks[1].listen(NodeId(4));
+            chunks[1].propose(NodeId(5));
+            assert!(chunks[1].try_connect(&topo, NodeId(5), NodeId(4)));
+            chunks[1].release(NodeId(5), NodeId(4));
+            // Failed proposal: node 3 proposes to idle node 4 (now Free).
+            chunks[1].propose(NodeId(3));
+            assert!(!chunks[1].try_connect(&topo, NodeId(3), NodeId(4)));
+            chunks[1].cancel(NodeId(3));
+            assert_eq!(chunks[0].state(NodeId(0)), PeerState::Connected);
+            assert_eq!(chunks[1].state(NodeId(3)), PeerState::Free);
+        }
+        full.listen(NodeId(1));
+        full.propose(NodeId(0));
+        assert!(full.try_connect(&topo, NodeId(0), NodeId(1)));
+        full.listen(NodeId(4));
+        full.propose(NodeId(5));
+        assert!(full.try_connect(&topo, NodeId(5), NodeId(4)));
+        full.release(NodeId(5), NodeId(4));
+        full.propose(NodeId(3));
+        assert!(!full.try_connect(&topo, NodeId(3), NodeId(4)));
+        full.cancel(NodeId(3));
+        for u in 0..6 {
+            assert_eq!(
+                chunked.state(NodeId(u as u32)),
+                full.state(NodeId(u as u32))
+            );
+        }
     }
 
     #[test]

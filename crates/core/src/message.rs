@@ -320,7 +320,7 @@ impl MessageMatrix {
     }
 
     /// [`union_pair`](Self::union_pair) with the full per-pair stats.
-    fn union_pair_stats(&mut self, i: usize, j: usize) -> TransferStats {
+    pub fn union_pair_stats(&mut self, i: usize, j: usize) -> TransferStats {
         assert_ne!(i, j, "a connection cannot join a node to itself");
         let stride = self.stride;
         let (lo, hi) = (i.min(j), i.max(j));
@@ -447,6 +447,30 @@ impl MessageMatrix {
         total
     }
 
+    /// Split the matrix into disjoint mutable blocks of `block` contiguous
+    /// rows each (the last block may be shorter) — the region-parallel
+    /// access pattern of the time-sliced event engine. Each
+    /// [`MatrixChunk`] owns its rows exclusively, so workers on different
+    /// chunks mutate concurrently in safe Rust; chunk methods take
+    /// **global** row indices so call sites read like their full-matrix
+    /// counterparts.
+    pub fn region_chunks(&mut self, block: usize) -> impl Iterator<Item = MatrixChunk<'_>> {
+        assert!(block > 0, "region block size must be non-zero");
+        let stride = self.stride;
+        let universe = self.universe;
+        self.words
+            .chunks_mut(block * stride)
+            .zip(self.counts.chunks_mut(block))
+            .enumerate()
+            .map(move |(i, (words, counts))| MatrixChunk {
+                base: i * block,
+                words,
+                counts,
+                universe,
+                stride,
+            })
+    }
+
     /// How many nodes hold the full universe.
     pub fn full_count(&self) -> usize {
         let k = self.universe as u32;
@@ -456,6 +480,73 @@ impl MessageMatrix {
     /// Total messages held across all nodes.
     pub fn total_messages(&self) -> usize {
         self.counts.iter().map(|&c| c as usize).sum()
+    }
+}
+
+/// Exclusive access to rows `base..base + len` of a [`MessageMatrix`],
+/// produced by [`MessageMatrix::region_chunks`]. All row indices passed to
+/// chunk methods are **global** node indices and must fall inside the
+/// chunk's range (debug-asserted).
+pub struct MatrixChunk<'a> {
+    base: usize,
+    words: &'a mut [u64],
+    counts: &'a mut [u32],
+    universe: usize,
+    stride: usize,
+}
+
+impl MatrixChunk<'_> {
+    /// First global row of this chunk.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    #[inline]
+    fn local(&self, u: usize) -> usize {
+        debug_assert!(
+            u >= self.base && u - self.base < self.counts.len(),
+            "row {u} outside chunk {}..{}",
+            self.base,
+            self.base + self.counts.len()
+        );
+        u - self.base
+    }
+
+    /// A borrowed view of global row `u`'s set, as handed to protocols.
+    #[inline]
+    pub fn view(&self, u: usize) -> MsgView<'_> {
+        let l = self.local(u);
+        MsgView {
+            words: &self.words[l * self.stride..(l + 1) * self.stride],
+            universe: self.universe,
+            count: self.counts[l] as usize,
+        }
+    }
+
+    /// Does global row `u` hold every message?
+    #[inline]
+    pub fn is_full(&self, u: usize) -> bool {
+        self.counts[self.local(u)] as usize == self.universe
+    }
+
+    /// The push-pull transfer between two rows of this chunk (both become
+    /// their union), with per-pair stats — the in-region counterpart of
+    /// [`MessageMatrix::union_pair_stats`].
+    pub fn union_pair_stats(&mut self, i: usize, j: usize) -> TransferStats {
+        assert_ne!(i, j, "a connection cannot join a node to itself");
+        let (li, lj) = (self.local(i), self.local(j));
+        let stride = self.stride;
+        let (lo, hi) = (li.min(lj), li.max(lj));
+        let (head, tail) = self.words.split_at_mut(hi * stride);
+        let (counts_head, counts_tail) = self.counts.split_at_mut(hi);
+        union_rows(
+            &mut head[lo * stride..(lo + 1) * stride],
+            &mut tail[..stride],
+            &mut counts_head[lo],
+            &mut counts_tail[0],
+            self.universe,
+        )
     }
 }
 
@@ -678,6 +769,28 @@ mod tests {
             },
         ];
         m.union_pairs_parallel(&overlapping, 2);
+    }
+
+    #[test]
+    fn region_chunks_mirror_full_matrix_operations() {
+        // 10 rows split into blocks of 4 → chunks of 4, 4, 2 rows.
+        let (mut m, _) = transfer_fixture(10);
+        let reference = m.clone();
+        let mut chunks: Vec<_> = m.region_chunks(4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[2].base(), 8);
+        for u in 0..10 {
+            let c = &chunks[u / 4];
+            assert_eq!(c.view(u).fingerprint(), reference.view(u).fingerprint());
+            assert_eq!(c.is_full(u), reference.is_full(u));
+        }
+        // An in-chunk union matches the full-matrix union byte for byte.
+        let stats = chunks[1].union_pair_stats(5, 6);
+        drop(chunks);
+        let mut expect = reference.clone();
+        let expect_stats = expect.union_pair_stats(5, 6);
+        assert_eq!(stats, expect_stats);
+        assert_eq!(m, expect);
     }
 
     #[test]

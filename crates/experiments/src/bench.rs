@@ -1,12 +1,15 @@
 //! Engine benchmarking over the same typed specs as `run` and `grid`:
-//! time the synchronous engine over a fixed round budget rather than
-//! running to completion, so a 10^6-node topology benches in seconds even
-//! though its gossip would take hundreds of thousands of rounds to
-//! finish.
+//! time the engine over a fixed round budget rather than running to
+//! completion, so a 10^6-node topology benches in seconds even though its
+//! gossip would take hundreds of thousands of rounds to finish. The
+//! scenario's scheduler spec picks the engine: sync specs bench the
+//! sharded round loop (per-round phase breakdown), async specs bench the
+//! time-sliced event loop (per-slice execute/merge/sweep breakdown plus
+//! event throughput).
 
 use crate::emit::{json_num, json_str};
-use crate::spec::Scenario;
-use gossip_sim::{SimConfig, SyncScheduler};
+use crate::spec::{Scenario, SchedulerSpec};
+use gossip_sim::{AsyncScheduler, SimConfig, SliceTimings, SyncScheduler};
 
 use std::time::Instant;
 
@@ -19,8 +22,9 @@ pub const BENCH_SCHEMA_VERSION: u64 = 2;
 /// One bench invocation: a [`Scenario`] (built by the same
 /// [`ScenarioBuilder`](crate::ScenarioBuilder) as every other front-end,
 /// so bench configs cannot drift from run configs) plus the round budget.
-/// Benching always drives the synchronous engine; the scenario's
-/// scheduler spec contributes only its thread count.
+/// The scenario's scheduler spec picks the engine under the stopwatch —
+/// sync benches the round loop, async benches the sliced event loop —
+/// and contributes its thread count (and, for async, its timing model).
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchScenario {
     pub scenario: Scenario,
@@ -63,11 +67,31 @@ pub struct BenchReport {
     pub total_connections: usize,
     pub productive_connections: usize,
     pub complete_nodes: usize,
-    /// Wall time of each round-loop phase, summed over rounds. The four
-    /// phases account for essentially all of `wall_ms`; comparing
-    /// breakdowns across `--threads` shows which phases a thread count
-    /// actually buys down.
-    pub phase_ms: PhaseMs,
+    /// Per-phase wall time of whichever engine ran, summed over
+    /// rounds (sync) or slice passes (async). The phases account for
+    /// essentially all of `wall_ms`; comparing breakdowns across
+    /// `--threads` shows which phases a thread count actually buys down.
+    pub phases: EnginePhases,
+}
+
+/// The engine-specific half of a [`BenchReport`]: which loop ran and its
+/// phase breakdown.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EnginePhases {
+    /// The sharded synchronous round loop.
+    Sync(PhaseMs),
+    /// The time-sliced asynchronous event loop.
+    Async(SliceMs),
+}
+
+impl EnginePhases {
+    /// The `"bench"` discriminator stamped on the JSON line.
+    pub fn bench_name(&self) -> &'static str {
+        match self {
+            EnginePhases::Sync(_) => "sync_round_loop",
+            EnginePhases::Async(_) => "async_event_loop",
+        }
+    }
 }
 
 /// Per-phase wall-clock milliseconds of the synchronous round loop
@@ -96,8 +120,43 @@ impl From<gossip_sim::PhaseTimings> for PhaseMs {
     }
 }
 
+/// Per-phase wall-clock milliseconds of the time-sliced event loop
+/// (engine [`SliceTimings`], converted for reporting), plus its event
+/// throughput — the async analogue of rounds/sec, and the number CI and
+/// `BENCH_async_*.json` baselines compare across thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SliceMs {
+    /// Parallel region execution across all slice passes.
+    pub execute: f64,
+    /// Serial log merge + accounting replay.
+    pub merge: f64,
+    /// Serial boundary sweep (cross-region events and mutations).
+    pub sweep: f64,
+    /// Slice passes taken.
+    pub slices: u64,
+    /// Events executed (each event counted once, where it ran).
+    pub events: u64,
+    /// `events / wall seconds` of the simulation.
+    pub events_per_sec: f64,
+}
+
+impl SliceMs {
+    fn new(t: SliceTimings, wall_secs: f64) -> Self {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        SliceMs {
+            execute: ms(t.execute),
+            merge: ms(t.merge),
+            sweep: ms(t.sweep),
+            slices: t.slices,
+            events: t.events,
+            events_per_sec: t.events as f64 / wall_secs.max(1e-9),
+        }
+    }
+}
+
 /// Run one engine benchmark: build the topology (timed separately), run
-/// the synchronous scheduler for the configured round budget, and report
+/// the scenario's scheduler for the configured round budget (async specs
+/// interpret it as the equivalent virtual-time cap), and report
 /// throughput plus the deterministic accounting totals.
 pub fn run_bench(bench: &BenchScenario) -> BenchReport {
     let scenario = &bench.scenario;
@@ -113,15 +172,35 @@ pub fn run_bench(bench: &BenchScenario) -> BenchReport {
         max_rounds: bench.rounds,
         record_rounds: false,
     };
-    let scheduler = SyncScheduler::with_threads(threads);
     let running = Instant::now();
-    let (result, timings) = scheduler.run_with_timings(
-        &topology,
-        protocol.as_ref(),
-        &sources,
-        scenario.seed,
-        &sim_cfg,
-    );
+    let (result, phases) = match &scenario.scheduler {
+        SchedulerSpec::Sync { .. } => {
+            let scheduler = SyncScheduler::with_threads(threads);
+            let (result, timings) = scheduler.run_with_timings(
+                &topology,
+                protocol.as_ref(),
+                &sources,
+                scenario.seed,
+                &sim_cfg,
+            );
+            (result, EnginePhases::Sync(timings.into()))
+        }
+        SchedulerSpec::Async { timing, .. } => {
+            let scheduler = AsyncScheduler {
+                timing: *timing,
+                threads,
+            };
+            let (result, timings) = scheduler.run_with_slice_timings(
+                &topology,
+                protocol.as_ref(),
+                &sources,
+                scenario.seed,
+                &sim_cfg,
+            );
+            let secs = running.elapsed().as_secs_f64();
+            (result, EnginePhases::Async(SliceMs::new(timings, secs)))
+        }
+    };
     let wall = running.elapsed();
 
     let secs = wall.as_secs_f64().max(1e-9);
@@ -143,7 +222,7 @@ pub fn run_bench(bench: &BenchScenario) -> BenchReport {
         total_connections: result.total_connections,
         productive_connections: result.productive_connections,
         complete_nodes: result.complete_nodes,
-        phase_ms: timings.into(),
+        phases,
     }
 }
 
@@ -155,7 +234,7 @@ pub fn bench_to_json(report: &BenchReport) -> String {
     out.push('{');
     json_num(&mut out, "schema", BENCH_SCHEMA_VERSION);
     out.push(',');
-    json_str(&mut out, "bench", "sync_round_loop");
+    json_str(&mut out, "bench", report.phases.bench_name());
     out.push(',');
     json_str(&mut out, "scenario_id", &report.scenario_id);
     out.push(',');
@@ -181,13 +260,17 @@ pub fn bench_to_json(report: &BenchReport) -> String {
     out.push(',');
     json_num(&mut out, "wall_ms", report.wall_ms);
     out.push(',');
-    out.push_str(&format!(
-        "\"phase_ms\":{{\"advertise\":{:.2},\"decide\":{:.2},\"match\":{:.2},\"transfer\":{:.2}}}",
-        report.phase_ms.advertise,
-        report.phase_ms.decide,
-        report.phase_ms.matching,
-        report.phase_ms.transfer
-    ));
+    match &report.phases {
+        EnginePhases::Sync(p) => out.push_str(&format!(
+            "\"phase_ms\":{{\"advertise\":{:.2},\"decide\":{:.2},\"match\":{:.2},\"transfer\":{:.2}}}",
+            p.advertise, p.decide, p.matching, p.transfer
+        )),
+        EnginePhases::Async(s) => out.push_str(&format!(
+            "\"phase_ms\":{{\"execute\":{:.2},\"merge\":{:.2},\"sweep\":{:.2}}},\
+             \"slices\":{},\"events\":{},\"events_per_sec\":{:.2}",
+            s.execute, s.merge, s.sweep, s.slices, s.events, s.events_per_sec
+        )),
+    }
     out.push(',');
     out.push_str(&format!(
         "\"rounds_per_sec\":{:.2},\"node_events_per_sec\":{:.2}",
@@ -240,6 +323,7 @@ mod tests {
         assert_eq!(report.productive_connections, again.productive_connections);
         assert_eq!(report.complete_nodes, again.complete_nodes);
 
+        assert!(matches!(report.phases, EnginePhases::Sync(_)));
         let json = bench_to_json(&report);
         for key in [
             "\"schema\":2",
@@ -261,6 +345,49 @@ mod tests {
             "\"total_connections\":",
         ] {
             assert!(json.contains(key), "bench JSON missing {key}: {json}");
+        }
+        assert!(!json.contains('\n'), "bench output must be line-oriented");
+    }
+
+    #[test]
+    fn async_bench_reports_slice_phases_and_event_throughput() {
+        let scenario = ScenarioBuilder::new()
+            .nodes(2000)
+            .protocol(ProtocolSpec::Advert)
+            .async_scheduler(gossip_core::time::TimingConfig::default())
+            .seed(5)
+            .finish()
+            .unwrap();
+        let bench = BenchScenario {
+            scenario,
+            rounds: 32,
+        };
+        let report = run_bench(&bench);
+        assert!(!report.completed, "budget-capped, far from done");
+        let EnginePhases::Async(slice) = report.phases else {
+            panic!("async spec must bench the sliced event loop");
+        };
+        assert!(slice.slices > 0);
+        assert!(slice.events > 0, "a capped run still executes events");
+        assert!(slice.events_per_sec > 0.0);
+        // Accounting totals are seed-deterministic run to run — the same
+        // divergence check CI performs across async thread counts.
+        let again = run_bench(&bench);
+        assert_eq!(report.total_connections, again.total_connections);
+        assert_eq!(report.complete_nodes, again.complete_nodes);
+
+        let json = bench_to_json(&report);
+        for key in [
+            "\"schema\":2",
+            "\"bench\":\"async_event_loop\"",
+            "\"phase_ms\":{\"execute\":",
+            "\"merge\":",
+            "\"sweep\":",
+            "\"slices\":",
+            "\"events\":",
+            "\"events_per_sec\":",
+        ] {
+            assert!(json.contains(key), "async bench JSON missing {key}: {json}");
         }
         assert!(!json.contains('\n'), "bench output must be line-oriented");
     }

@@ -38,8 +38,8 @@ pub mod spec;
 pub mod specfile;
 
 pub use bench::{
-    bench_to_json, run_bench, BenchReport, BenchScenario, PhaseMs, BENCH_SCHEMA_VERSION,
-    DEFAULT_BENCH_ROUNDS,
+    bench_to_json, run_bench, BenchReport, BenchScenario, EnginePhases, PhaseMs, SliceMs,
+    BENCH_SCHEMA_VERSION, DEFAULT_BENCH_ROUNDS,
 };
 pub use emit::{
     csv_header, run_line_csv, run_line_json, to_json, Emitter, RunMeta, SCHEMA_VERSION,

@@ -229,8 +229,13 @@ pub enum SchedulerSpec {
     /// (thread count never changes results, only throughput).
     Sync { threads: usize },
     /// Event-driven virtual time with the given drift/latency
-    /// distributions. Inherently serial.
-    Async { timing: TimingConfig },
+    /// distributions, executed by the time-sliced engine — optionally
+    /// sharded over worker threads (thread count never changes results,
+    /// only throughput).
+    Async {
+        timing: TimingConfig,
+        threads: usize,
+    },
 }
 
 impl SchedulerSpec {
@@ -246,11 +251,12 @@ impl SchedulerSpec {
     }
 
     /// Worker threads this spec will actually run with, after the
-    /// [`effective_threads`] clamp (always 1 for the serial async engine).
+    /// [`effective_threads`] clamp.
     pub fn effective_threads(&self) -> usize {
         match self {
-            SchedulerSpec::Sync { threads } => effective_threads(*threads).0,
-            SchedulerSpec::Async { .. } => 1,
+            SchedulerSpec::Sync { threads } | SchedulerSpec::Async { threads, .. } => {
+                effective_threads(*threads).0
+            }
         }
     }
 
@@ -260,7 +266,10 @@ impl SchedulerSpec {
             SchedulerSpec::Sync { threads } => {
                 Box::new(SyncScheduler::with_threads(effective_threads(*threads).0))
             }
-            SchedulerSpec::Async { timing } => Box::new(AsyncScheduler { timing: *timing }),
+            SchedulerSpec::Async { timing, threads } => Box::new(AsyncScheduler {
+                timing: *timing,
+                threads: effective_threads(*threads).0,
+            }),
         }
     }
 }
@@ -495,7 +504,9 @@ impl Scenario {
         id.push_str(self.protocol.name());
         match &self.scheduler {
             SchedulerSpec::Sync { .. } => id.push_str("-sync"),
-            SchedulerSpec::Async { timing } => {
+            // `threads` is execution-only (never changes results), so it
+            // stays out of the id just like the sync thread count.
+            SchedulerSpec::Async { timing, .. } => {
                 id.push_str(&format!(
                     "-async@d{}j{}l{}:{}",
                     timing.drift, timing.refresh_jitter, timing.min_latency, timing.max_latency
@@ -590,7 +601,8 @@ impl Scenario {
         kv("scheduler", self.scheduler.name().to_string());
         match &self.scheduler {
             SchedulerSpec::Sync { threads } => kv("threads", threads.to_string()),
-            SchedulerSpec::Async { timing } => {
+            SchedulerSpec::Async { timing, threads } => {
+                kv("threads", threads.to_string());
                 kv("drift", timing.drift.to_string());
                 kv("refresh-jitter", timing.refresh_jitter.to_string());
                 kv("min-latency", timing.min_latency.to_string());
@@ -677,7 +689,7 @@ pub const ASSIGNMENTS: &[AssignmentDef] = &[
         metavar: Some("sync|async"),
         help: "execution model: synchronized rounds\nor event-driven virtual time [default: sync]",
         run: true,
-        bench: false,
+        bench: true,
         axis: true,
     },
     AssignmentDef {
@@ -715,7 +727,7 @@ pub const ASSIGNMENTS: &[AssignmentDef] = &[
     AssignmentDef {
         key: "threads",
         metavar: Some("T"),
-        help: "shard the synchronous round loop over T\nworker threads (results are identical at\nany thread count; capped at the machine's\navailable parallelism) [default: 1]",
+        help: "shard the sync round loop / sliced async\nevent loop over T worker threads (results\nare identical at any thread count; capped\nat the machine's available parallelism)\n[default: 1]",
         run: true,
         bench: true,
         axis: true,
@@ -733,7 +745,7 @@ pub const ASSIGNMENTS: &[AssignmentDef] = &[
         metavar: Some("F"),
         help: "async: max relative clock drift,\n0 <= F < 1 [default: 0.1]",
         run: true,
-        bench: false,
+        bench: true,
         axis: true,
     },
     AssignmentDef {
@@ -741,7 +753,7 @@ pub const ASSIGNMENTS: &[AssignmentDef] = &[
         metavar: Some("F"),
         help: "async: per-refresh advertisement interval\njitter, 0 <= F < 1 [default: 0.25]",
         run: true,
-        bench: false,
+        bench: true,
         axis: true,
     },
     AssignmentDef {
@@ -749,7 +761,7 @@ pub const ASSIGNMENTS: &[AssignmentDef] = &[
         metavar: Some("T"),
         help: "async: min connect/transfer latency in\nticks (1024 ticks = 1 round) [default: 32]",
         run: true,
-        bench: false,
+        bench: true,
         axis: true,
     },
     AssignmentDef {
@@ -757,7 +769,7 @@ pub const ASSIGNMENTS: &[AssignmentDef] = &[
         metavar: Some("T"),
         help: "async: max connect/transfer latency in\nticks [default: 256]",
         run: true,
-        bench: false,
+        bench: true,
         axis: true,
     },
     AssignmentDef {
@@ -1208,18 +1220,10 @@ impl ScenarioBuilder {
             SchedulerKind::Sync => SchedulerSpec::Sync {
                 threads: self.threads,
             },
-            SchedulerKind::Async => {
-                if self.threads > 1 {
-                    errors.push(SpecError::Conflict {
-                        reason: "threads shards the synchronous round loop; the event-driven \
-                                 scheduler is inherently serial (use scheduler sync)"
-                            .to_string(),
-                    });
-                }
-                SchedulerSpec::Async {
-                    timing: self.timing,
-                }
-            }
+            SchedulerKind::Async => SchedulerSpec::Async {
+                timing: self.timing,
+                threads: self.threads,
+            },
         };
 
         // Dynamics: the models' own validators decide what a usable rate

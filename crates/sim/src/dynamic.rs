@@ -30,6 +30,12 @@ pub(crate) struct DynRun {
     pub alive_messages: usize,
     /// Rounds per coverage-timeline sample window (doubles on thinning).
     timeline_stride: u64,
+    /// High-water mark over all `record` times. The sliced engine replays
+    /// worker logs and boundary sweeps after applying slice-start
+    /// mutations, so its record calls are not globally time-ordered;
+    /// clamping here keeps the coverage timeline monotone. The serial
+    /// engine records in time order, so the clamp is a no-op there.
+    record_hwm: u64,
 }
 
 impl DynRun {
@@ -67,6 +73,7 @@ impl DynRun {
             alive_informed,
             alive_messages,
             timeline_stride: 1,
+            record_hwm: 0,
         };
         run.record(SimTime::ZERO);
         run
@@ -164,8 +171,9 @@ impl DynRun {
     pub fn record(&mut self, time: SimTime) {
         let alive = self.topo.alive_count();
         let informed_alive = self.alive_informed;
+        self.record_hwm = self.record_hwm.max(time.ticks());
         let point = CoveragePoint {
-            time: time.ticks(),
+            time: self.record_hwm,
             alive,
             informed_alive,
         };

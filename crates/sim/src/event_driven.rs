@@ -24,10 +24,19 @@
 //! flips — is drawn from the single seeded [`Rng`], and events are
 //! ordered by `(time, sequence-number)`, so runs are exactly reproducible
 //! from the seed.
+//!
+//! Since the time-sliced parallel engine landed (see [`crate::sliced`]),
+//! [`Scheduler::run`]/[`Scheduler::run_dynamic`] execute the sliced event
+//! loop at every thread count (byte-identical results for any `threads`),
+//! while the original single-heap loop lives on as
+//! [`AsyncScheduler::run_serial`] / [`AsyncScheduler::run_dynamic_serial`]
+//! — the globally time-ordered oracle the sliced engine's tests compare
+//! against.
 
 use crate::dynamic::DynRun;
 use crate::metrics::RoundStats;
 use crate::scheduler::{init_run, Scheduler};
+use crate::sliced::SliceTimings;
 use crate::{SimConfig, SimResult};
 
 use std::cmp::Ordering;
@@ -47,10 +56,34 @@ use gossip_protocols::{GossipProtocol, NodeCtx};
 /// (see [`SimTime::round_equivalent`]); with `record_rounds` set, one
 /// [`RoundStats`] entry is recorded per elapsed round-sized epoch, and a
 /// connection is counted in the epoch in which its transfer completes.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct AsyncScheduler {
     /// Drift, refresh-jitter, and latency distributions for the run.
     pub timing: TimingConfig,
+    /// Worker threads for the time-sliced event loop. The slice/region
+    /// partition is a fixed constant, so results are byte-identical at
+    /// any value; `0` is normalized to 1.
+    pub threads: usize,
+}
+
+impl Default for AsyncScheduler {
+    fn default() -> Self {
+        AsyncScheduler {
+            timing: TimingConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl AsyncScheduler {
+    /// An async scheduler with default timing and `threads` workers
+    /// (`0` is treated as 1).
+    pub fn with_threads(threads: usize) -> Self {
+        AsyncScheduler {
+            timing: TimingConfig::default(),
+            threads: threads.max(1),
+        }
+    }
 }
 
 /// What happens when a scheduled event fires.
@@ -95,10 +128,10 @@ enum DynEvent {
 /// monotonically increasing tie-breaker, so simultaneous events fire in
 /// scheduling order and the execution is deterministic.
 #[derive(Clone, Copy, Debug)]
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -126,6 +159,49 @@ impl Scheduler for AsyncScheduler {
     }
 
     fn run(
+        &self,
+        topology: &Topology,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult {
+        crate::sliced::run_sliced(self, topology, protocol, sources, seed, config).0
+    }
+
+    fn run_dynamic(
+        &self,
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult {
+        crate::sliced::run_dynamic_sliced(self, topology, dynamics, protocol, sources, seed, config)
+            .0
+    }
+}
+
+impl AsyncScheduler {
+    /// Run the time-sliced engine and also return its per-phase wall-time
+    /// breakdown (consumed by `bench`).
+    pub fn run_with_slice_timings(
+        &self,
+        topology: &Topology,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> (SimResult, SliceTimings) {
+        crate::sliced::run_sliced(self, topology, protocol, sources, seed, config)
+    }
+
+    /// The original single-heap, globally time-ordered event loop, kept
+    /// as the serial oracle the sliced engine's tests compare against
+    /// (it executes every event in exact `(time, seq)` order). Ignores
+    /// `threads`.
+    pub fn run_serial(
         &self,
         topology: &Topology,
         protocol: &dyn GossipProtocol,
@@ -344,18 +420,18 @@ impl Scheduler for AsyncScheduler {
         result
     }
 
-    /// The dynamic-topology variant of the event loop. The dynamics
-    /// stream is interleaved *exactly*: a `Mutate` marker rides the event
-    /// heap at the stream's next mutation time, so departures, rejoins,
-    /// fades, and moves fire between act cycles at their true virtual
-    /// times rather than at round boundaries. A departure severs any open
-    /// connection of the dead node (counted in
+    /// The dynamic-topology variant of the serial event loop. The
+    /// dynamics stream is interleaved *exactly*: a `Mutate` marker rides
+    /// the event heap at the stream's next mutation time, so departures,
+    /// rejoins, fades, and moves fire between act cycles at their true
+    /// virtual times rather than at round boundaries. A departure severs
+    /// any open connection of the dead node (counted in
     /// [`DynamicsStats::severed_connections`](crate::DynamicsStats));
     /// its queued events dissolve lazily via generation stamps. An edge
     /// that fades or moves away while a proposal is in flight simply
     /// fails the attempt at arrival — only death interrupts an already-
     /// formed connection.
-    fn run_dynamic(
+    pub fn run_dynamic_serial(
         &self,
         topology: &Topology,
         dynamics: &dyn DynamicsModel,
@@ -656,13 +732,13 @@ impl Scheduler for AsyncScheduler {
 /// asynchronous run: counters for the currently open row, plus the number
 /// of rows already flushed.
 #[derive(Default)]
-struct EpochAccounting {
+pub(crate) struct EpochAccounting {
     /// Rows already flushed; the open row is number `flushed + 1`.
-    flushed: usize,
+    pub(crate) flushed: usize,
     /// Connections completing transfers in the open row so far.
-    connections: usize,
+    pub(crate) connections: usize,
     /// Productive connections in the open row so far.
-    productive: usize,
+    pub(crate) productive: usize,
 }
 
 impl EpochAccounting {
@@ -671,7 +747,7 @@ impl EpochAccounting {
     /// dense and 1-based like synchronous rounds; both the in-loop flush
     /// (before each event) and the final drain route through here so the
     /// attribution rule cannot diverge between them.
-    fn flush_rows_below(
+    pub(crate) fn flush_rows_below(
         &mut self,
         history: &mut Vec<RoundStats>,
         row: usize,

@@ -8,10 +8,14 @@
 //!   synchronized advertise → scan → connect → transfer rounds with batch
 //!   connection resolution. [`run`] is a convenience wrapper for it.
 //! - [`AsyncScheduler`] — the asynchronous variant (Newport, Weaver &
-//!   Zheng 2021): a binary-heap event queue with per-node clock drift,
-//!   randomized advertisement refresh intervals, and variable
-//!   connection/transfer latency, resolving proposals incrementally as
-//!   their events fire.
+//!   Zheng 2021): per-node clock drift, randomized advertisement refresh
+//!   intervals, and variable connection/transfer latency, resolving
+//!   proposals incrementally as their events fire. Its event loop is
+//!   time-sliced and sharded over `threads` workers (fixed node-region
+//!   event partition, per-`(seed, slice, region)` RNG streams, serial
+//!   boundary sweep — see the `sliced` module), deterministic at any
+//!   thread count; the original single-heap loop survives as
+//!   [`AsyncScheduler::run_serial`], the test oracle.
 //!
 //! Both record the metrics the papers analyze — rounds (or virtual time)
 //! to completion, connections formed, and how many of those connections
@@ -24,8 +28,9 @@
 //! [`gossip_dynamics::DynamicsModel`] (churn, edge fading, waypoint
 //! mobility) to [`Scheduler::run_dynamic`] and the engine consumes its
 //! deterministic mutation stream — at round boundaries under the
-//! synchronous scheduler, interleaved exactly in the event heap under the
-//! asynchronous one. Completion is then measured over currently-alive
+//! synchronous scheduler, at slice boundaries (serially, before the
+//! slice's events run) under the asynchronous one. Completion is then
+//! measured over currently-alive
 //! nodes, and [`SimResult::dynamics`] carries the churn-aware metrics
 //! ([`DynamicsStats`]): departures, rejoins, severed connections,
 //! peak/min alive counts, and a [`CoveragePoint`] timeline.
@@ -34,10 +39,12 @@ mod dynamic;
 mod event_driven;
 mod metrics;
 mod scheduler;
+mod sliced;
 
 pub use event_driven::AsyncScheduler;
 pub use metrics::{CoveragePoint, DynamicsStats, RoundStats, SimResult};
 pub use scheduler::{PhaseTimings, Scheduler, SyncScheduler};
+pub use sliced::{SliceTimings, EVENT_REGIONS, SLICE_TICKS};
 
 use gossip_core::{NodeId, Rng, Topology};
 use gossip_protocols::GossipProtocol;

@@ -113,13 +113,16 @@ pub struct SimResult {
     /// Nodes holding the full universe at the end — alive ones only,
     /// under a dynamics model.
     pub complete_nodes: usize,
-    /// Proposals the matching resolver dropped for targeting a
-    /// non-neighbor. Always 0 for a correct protocol on the synchronous
-    /// engine (the graph is frozen within a round); nonzero values make
-    /// protocol bugs observable in release builds, where the resolver's
-    /// debug panic is compiled out. The event-driven scheduler leaves
-    /// this 0 — there, a proposal crossing a vanished edge is a
-    /// legitimate in-flight loss, not a bug.
+    /// Proposals that reached the matcher but did not become a
+    /// connection. On the synchronous engine these are resolver drops for
+    /// targeting a non-neighbor — always 0 for a correct protocol (the
+    /// graph is frozen within a round); nonzero values make protocol bugs
+    /// observable in release builds, where the resolver's debug panic is
+    /// compiled out. On the sliced event-driven engine these are failed
+    /// handshakes: the acceptor was busy or no longer listening when the
+    /// connection attempt landed, or the edge vanished in flight — a
+    /// legitimate race under asynchronous timing, not a bug, and the
+    /// paper's motivation for acknowledgment-style protocols.
     pub dropped_proposals: u64,
     /// Churn-aware metrics; `Some` exactly when the run used a dynamics
     /// model, so static results serialize byte-identically to pre-dynamics

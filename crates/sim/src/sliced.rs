@@ -1,0 +1,1008 @@
+//! The time-sliced parallel event engine behind [`AsyncScheduler`].
+//!
+//! The serial event loop in [`crate::event_driven`] executes every event
+//! in exact global `(time, seq)` order — inherently sequential. This
+//! module trades that total order for a *deterministic partial order*
+//! that parallelizes, mirroring the design of the sharded matching
+//! resolver (`resolve_connections_sharded`):
+//!
+//! - **Fixed partition.** Nodes are split into [`EVENT_REGIONS`]
+//!   contiguous blocks of `block = ceil(n / EVENT_REGIONS)` nodes, and
+//!   virtual time into slices of [`SLICE_TICKS`] ticks. Both are
+//!   constants — deliberately *not* functions of the thread count — so
+//!   every RNG draw below is partition-stable and the executed event
+//!   sequence is byte-identical at any `threads`.
+//! - **Per-region heaps.** Each region owns a binary heap of the events
+//!   it is responsible for: `Act(u)` belongs to `region(u)`,
+//!   `Attempt { from, .. }` to `region(from)`, `Finish { initiator, .. }`
+//!   to `region(initiator)`. Every event a region *pushes* lands in its
+//!   own heap, so region heaps never race.
+//! - **Slice passes.** Each pass picks a monotonically increasing slice
+//!   index, then workers drain their regions' events below the slice end
+//!   in local `(time, seq)` order, drawing from the per-pass stream
+//!   `Rng::stream(seed, pass, REGION_STREAM_BASE + region)`. Events
+//!   whose *effects* would cross a region boundary — an `Attempt` whose
+//!   acceptor lives in another region, a `Finish` whose endpoints
+//!   straddle regions — are **deferred** untouched (no RNG consumed) to
+//!   a serial **boundary sweep** at the slice edge, which executes them
+//!   in `(time, region)` order against the full matcher/matrix with its
+//!   own stream `Rng::stream(seed, pass, SWEEP_STREAM)`.
+//! - **Serial replay.** Workers record what each transfer moved; after
+//!   the scope joins, the logs merge in `(time, region)` order and the
+//!   accounting (connection counters, completion detection, per-epoch
+//!   history rows) replays serially, so `SimResult` assembly is one
+//!   deterministic sequence regardless of which worker did what.
+//!
+//! Dynamics keep slice granularity: all mutations due inside a slice are
+//! applied serially at the *start* of the pass (stream
+//! `Rng::stream(seed, pass, MUTATE_STREAM)`), before any of the slice's
+//! events execute — the event-loop analogue of the synchronous
+//! scheduler's round-boundary mutation semantics. Deaths therefore
+//! precede every union of the slice, and generation stamps lazily
+//! discard the dead node's queued events exactly as in the serial
+//! engine.
+//!
+//! Relaxations vs. the serial loop (all deterministic, argued in
+//! ARCHITECTURE.md): events in different regions within a slice
+//! interleave by region rather than globally by time; cross-region scans
+//! read a start-of-slice advertisement snapshot; an event a sweep
+//! schedules *inside* the current slice executes in the next pass.
+
+use crate::dynamic::DynRun;
+use crate::event_driven::{AsyncScheduler, EpochAccounting, Scheduled};
+use crate::scheduler::init_run;
+use crate::{SimConfig, SimResult};
+
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use gossip_core::time::{SimTime, TimingConfig, TICKS_PER_ROUND};
+use gossip_core::{
+    Advertisement, GraphView, IncrementalMatcher, Intent, MatcherChunk, MatrixChunk, MessageMatrix,
+    NodeId, PeerState, Rng, Topology,
+};
+use gossip_dynamics::{DynamicsModel, MutationKind};
+use gossip_protocols::{GossipProtocol, NodeCtx};
+
+/// Width of one virtual-time slice. One nominal act period: long enough
+/// that most act→attempt→finish chains stay inside a slice, short enough
+/// that the advertisement snapshot cross-region scans read stays fresh.
+pub const SLICE_TICKS: u64 = TICKS_PER_ROUND;
+
+/// Number of fixed node regions. A constant (not a function of the
+/// thread count) so the event partition — and therefore every RNG draw —
+/// is identical no matter how many workers execute it.
+pub const EVENT_REGIONS: usize = 64;
+
+/// Per-pass region streams are `stream(seed, pass, REGION_STREAM_BASE + r)`.
+/// Offset by `2^33` to stay disjoint from the matching resolver's region
+/// streams (based at `2^32`) and the protocol's per-node streams.
+const REGION_STREAM_BASE: u64 = 2 << 32;
+/// Stream for the serial boundary sweep of a pass (`u64::MAX - 1` is the
+/// matching resolver's boundary stream).
+const SWEEP_STREAM: u64 = u64::MAX - 2;
+/// Stream for the serial start-of-slice mutation drain of a pass.
+const MUTATE_STREAM: u64 = u64::MAX - 3;
+
+/// Wall-time breakdown of a sliced run, for `bench`. `execute` is the
+/// parallel region phase; `merge` the serial log merge + accounting
+/// replay; `sweep` the serial boundary sweep (plus, on dynamic runs, the
+/// start-of-slice mutation drain).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SliceTimings {
+    /// Parallel region execution.
+    pub execute: Duration,
+    /// Log merge + serial accounting replay.
+    pub merge: Duration,
+    /// Serial boundary sweep (and mutation drain).
+    pub sweep: Duration,
+    /// Events executed (region pops + sweep executions; deferred events
+    /// count once, where they execute).
+    pub events: u64,
+    /// Slice passes taken.
+    pub slices: u64,
+}
+
+/// The one event vocabulary of the sliced engine; static runs carry
+/// all-zero generation stamps (no node ever dies, so the checks are
+/// vacuously true) and share every code path with dynamic runs.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// A node's act cycle, valid for one incarnation of the node.
+    Act(NodeId, u64),
+    /// `from`'s proposal arrives at `to` after connection-setup latency.
+    Attempt { from: NodeId, to: NodeId, gen: u64 },
+    /// The transfer over a formed connection completes.
+    Finish {
+        initiator: NodeId,
+        acceptor: NodeId,
+        gen_i: u64,
+        gen_a: u64,
+    },
+}
+
+/// What a worker logs for the serial replay to account.
+#[derive(Clone, Copy, Debug)]
+enum EntryKind {
+    /// A transfer completed: how many messages moved, and how many
+    /// endpoints newly hold the full universe.
+    Finish { moved: usize, newly_full: usize },
+    /// An attempt was rejected (busy acceptor, or a vanished edge on
+    /// dynamic runs).
+    Drop,
+}
+
+/// One replay-log record, ordered by `(time, region)` at merge.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    time: u64,
+    kind: EntryKind,
+}
+
+/// Per-region state that persists across slices: the event heap, its
+/// region-local sequence counter, and reusable deferred/log/scratch
+/// buffers (allocated once, drained every pass).
+struct RegionScratch {
+    heap: BinaryHeap<Scheduled<Ev>>,
+    seq: u64,
+    deferred: Vec<Scheduled<Ev>>,
+    log: Vec<Entry>,
+    ad_scratch: Vec<Advertisement>,
+    events: u64,
+    last_time: u64,
+}
+
+impl RegionScratch {
+    /// Pre-size for `block` nodes: one pending act chain plus one
+    /// in-flight attempt/finish per node.
+    fn with_node_capacity(block: usize) -> Self {
+        RegionScratch {
+            heap: BinaryHeap::with_capacity(2 * block),
+            seq: 0,
+            deferred: Vec::new(),
+            log: Vec::new(),
+            ad_scratch: Vec::new(),
+            events: 0,
+            last_time: 0,
+        }
+    }
+
+    /// Schedule `event` at `time` in this region's heap. `seq` is
+    /// region-local, so region pop order is deterministic without any
+    /// global coordination.
+    fn push(&mut self, time: SimTime, event: Ev) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Record that an event executed (or was discarded as stale) here.
+    fn note(&mut self, now: SimTime) {
+        self.events += 1;
+        self.last_time = self.last_time.max(now.ticks());
+    }
+}
+
+/// Read-only context shared by every worker of one slice pass.
+struct SliceCtx<'a, G: GraphView + Sync + ?Sized> {
+    graph: &'a G,
+    protocol: &'a dyn GossipProtocol,
+    timing: &'a TimingConfig,
+    drift: &'a [f64],
+    /// Start-of-slice advertisement snapshot, read for *cross-region*
+    /// neighbors (in-region neighbors read the live array).
+    ads_snap: &'a [Advertisement],
+    gens: &'a [u64],
+    seed: u64,
+    pass: u64,
+    /// Exclusive pop bound: `min(slice end, max_time + 1)`.
+    end: u64,
+    block: usize,
+    /// Dynamic runs skip the static-graph neighbor assertion — there an
+    /// edge may legitimately vanish while a proposal is in flight.
+    dynamic: bool,
+}
+
+/// The disjoint mutable state a worker owns for one region: its scratch,
+/// plus region-sized chunks of the matcher, message matrix,
+/// advertisement array, and partner table.
+struct RegionTask<'a> {
+    scratch: &'a mut RegionScratch,
+    matcher: MatcherChunk<'a>,
+    states: MatrixChunk<'a>,
+    ads: &'a mut [Advertisement],
+    partner: &'a mut [Option<(NodeId, bool)>],
+}
+
+/// Drain one region's events below the slice end. Everything a region
+/// event *touches* is in-region (acts touch only their node; attempts
+/// and finishes with a cross-region peer are deferred before consuming
+/// any randomness), so workers on different regions never observe each
+/// other.
+fn run_region<G: GraphView + Sync + ?Sized>(ctx: &SliceCtx<'_, G>, task: &mut RegionTask<'_>) {
+    let base = task.matcher.base();
+    let r = base / ctx.block;
+    let mut rng = Rng::stream(ctx.seed, ctx.pass, REGION_STREAM_BASE + r as u64);
+    loop {
+        match task.scratch.heap.peek() {
+            Some(top) if top.time.ticks() < ctx.end => {}
+            _ => break,
+        }
+        let ev = task.scratch.heap.pop().expect("peeked event must pop");
+        let now = ev.time;
+        match ev.event {
+            Ev::Act(u, gen) => {
+                task.scratch.note(now);
+                if gen != ctx.gens[u.index()] {
+                    continue; // the node died since this was scheduled
+                }
+                let ui = u.index();
+                match task.matcher.state(u) {
+                    PeerState::Connected => {
+                        // Captured as a listener mid-connection: keep the
+                        // act chain alive and re-decide later.
+                        let delay = ctx.timing.refresh_interval(ctx.drift[ui], &mut rng);
+                        task.scratch.push(now.after(delay), Ev::Act(u, gen));
+                    }
+                    PeerState::Proposing => {
+                        // See the serial engine: a proposing node's chain
+                        // is owned by its Attempt event.
+                        debug_assert!(false, "act event fired for a proposing node");
+                    }
+                    state => {
+                        if state == PeerState::Listening {
+                            task.matcher.cancel(u);
+                        }
+                        let epoch = now.epoch();
+                        task.ads[ui - base] = ctx.protocol.advertise(task.states.view(ui), epoch);
+                        let neighbors = ctx.graph.neighbors(u);
+                        {
+                            let ads_live: &[Advertisement] = task.ads;
+                            let scr = &mut task.scratch.ad_scratch;
+                            scr.clear();
+                            scr.extend(neighbors.iter().map(|v| {
+                                let vi = v.index();
+                                if vi / ctx.block == r {
+                                    ads_live[vi - base]
+                                } else {
+                                    ctx.ads_snap[vi]
+                                }
+                            }));
+                        }
+                        let node_ctx = NodeCtx {
+                            id: u,
+                            salt: epoch,
+                            messages: task.states.view(ui),
+                            neighbors,
+                            neighbor_ads: &task.scratch.ad_scratch,
+                        };
+                        match ctx.protocol.decide(&node_ctx, &mut rng) {
+                            Intent::Idle => {
+                                let delay = ctx.timing.refresh_interval(ctx.drift[ui], &mut rng);
+                                task.scratch.push(now.after(delay), Ev::Act(u, gen));
+                            }
+                            Intent::Listen => {
+                                task.matcher.listen(u);
+                                let delay = ctx.timing.refresh_interval(ctx.drift[ui], &mut rng);
+                                task.scratch.push(now.after(delay), Ev::Act(u, gen));
+                            }
+                            Intent::Propose(v) => {
+                                task.matcher.propose(u);
+                                let delay = ctx.timing.latency(&mut rng);
+                                task.scratch.push(
+                                    now.after(delay),
+                                    Ev::Attempt {
+                                        from: u,
+                                        to: v,
+                                        gen,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::Attempt { from, to, gen } => {
+                if gen != ctx.gens[from.index()] {
+                    task.scratch.note(now);
+                    continue; // the proposer died mid-flight
+                }
+                if to.index() / ctx.block != r {
+                    // Cross-region acceptor: defer to the boundary sweep
+                    // before consuming any randomness.
+                    task.scratch.deferred.push(ev);
+                    continue;
+                }
+                task.scratch.note(now);
+                if !ctx.dynamic {
+                    debug_assert!(
+                        ctx.graph.are_neighbors(from, to),
+                        "protocol proposed {from} -> {to} across a non-edge"
+                    );
+                }
+                if task.matcher.try_connect(ctx.graph, from, to) {
+                    task.partner[from.index() - base] = Some((to, true));
+                    task.partner[to.index() - base] = Some((from, false));
+                    let delay = ctx.timing.latency(&mut rng);
+                    task.scratch.push(
+                        now.after(delay),
+                        Ev::Finish {
+                            initiator: from,
+                            acceptor: to,
+                            gen_i: gen,
+                            gen_a: ctx.gens[to.index()],
+                        },
+                    );
+                } else {
+                    task.matcher.cancel(from);
+                    task.scratch.log.push(Entry {
+                        time: now.ticks(),
+                        kind: EntryKind::Drop,
+                    });
+                    let delay = ctx
+                        .timing
+                        .refresh_interval(ctx.drift[from.index()], &mut rng);
+                    task.scratch.push(now.after(delay), Ev::Act(from, gen));
+                }
+            }
+            Ev::Finish {
+                initiator,
+                acceptor,
+                gen_i,
+                gen_a,
+            } => {
+                if gen_i != ctx.gens[initiator.index()] || gen_a != ctx.gens[acceptor.index()] {
+                    task.scratch.note(now);
+                    continue; // the connection was severed by a death
+                }
+                if acceptor.index() / ctx.block != r {
+                    task.scratch.deferred.push(ev);
+                    continue;
+                }
+                task.scratch.note(now);
+                let (i, j) = (initiator.index(), acceptor.index());
+                let stats = task.states.union_pair_stats(i, j);
+                task.scratch.log.push(Entry {
+                    time: now.ticks(),
+                    kind: EntryKind::Finish {
+                        moved: stats.moved,
+                        newly_full: stats.newly_full,
+                    },
+                });
+                task.matcher.release(initiator, acceptor);
+                task.partner[i - base] = None;
+                task.partner[j - base] = None;
+                let delay = ctx.timing.refresh_interval(ctx.drift[i], &mut rng);
+                task.scratch
+                    .push(now.after(delay), Ev::Act(initiator, gen_i));
+            }
+        }
+    }
+}
+
+/// Run one slice's region phase: carve the shared state into per-region
+/// tasks and execute them on `threads` scoped workers (inline when 1).
+/// Which worker runs which region never affects the result — regions
+/// are data-disjoint and their RNG streams are keyed by region index.
+fn execute_slice<G: GraphView + Sync + ?Sized>(
+    ctx: &SliceCtx<'_, G>,
+    scratches: &mut [RegionScratch],
+    matcher: &mut IncrementalMatcher,
+    states: &mut MessageMatrix,
+    ads: &mut [Advertisement],
+    partner: &mut [Option<(NodeId, bool)>],
+    threads: usize,
+) {
+    let block = ctx.block;
+    let mut tasks: Vec<RegionTask<'_>> = scratches
+        .iter_mut()
+        .zip(matcher.region_chunks(block))
+        .zip(states.region_chunks(block))
+        .zip(ads.chunks_mut(block))
+        .zip(partner.chunks_mut(block))
+        .map(
+            |((((scratch, matcher), states), ads), partner)| RegionTask {
+                scratch,
+                matcher,
+                states,
+                ads,
+                partner,
+            },
+        )
+        .collect();
+    if threads <= 1 {
+        for task in tasks.iter_mut() {
+            run_region(ctx, task);
+        }
+        return;
+    }
+    let per_worker = tasks.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = tasks.as_mut_slice();
+        while !rest.is_empty() {
+            let take = per_worker.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            s.spawn(move || {
+                for task in head.iter_mut() {
+                    run_region(ctx, task);
+                }
+            });
+        }
+    });
+}
+
+/// The sliced engine for a frozen topology. Byte-identical to itself at
+/// any `threads`; see the module docs for the determinism argument.
+pub(crate) fn run_sliced(
+    sched: &AsyncScheduler,
+    topology: &Topology,
+    protocol: &dyn GossipProtocol,
+    sources: &[NodeId],
+    seed: u64,
+    config: &SimConfig,
+) -> (SimResult, SliceTimings) {
+    sched
+        .timing
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid timing config: {e}"));
+    let n = topology.num_nodes();
+    let mut rng = Rng::new(seed);
+    let (mut states, mut result) = init_run(topology, protocol, "async", sources, seed, config);
+    let mut timings = SliceTimings::default();
+    if result.completed {
+        return (result, timings);
+    }
+    let mut complete_nodes = result.complete_nodes;
+    let mut messages_held: usize = states.total_messages();
+
+    let max_time = (config.max_rounds as u64).saturating_mul(TICKS_PER_ROUND);
+    let drift: Vec<f64> = (0..n)
+        .map(|_| sched.timing.drift_factor(&mut rng))
+        .collect();
+    // Every node publishes an initial epoch-0 tag before anyone scans.
+    let mut ads: Vec<Advertisement> = (0..n)
+        .map(|u| protocol.advertise(states.view(u), 0))
+        .collect();
+    let mut ads_snap = ads.clone();
+    let mut matcher = IncrementalMatcher::new(n);
+    let mut partner: Vec<Option<(NodeId, bool)>> = vec![None; n];
+    // Static runs never bump a generation; the stamps exist so both run
+    // flavors share the worker code.
+    let gens: Vec<u64> = vec![0; n];
+
+    let block = n.div_ceil(EVENT_REGIONS);
+    let regions = n.div_ceil(block);
+    let threads = sched.threads.clamp(1, regions);
+    let mut scratches: Vec<RegionScratch> = (0..regions)
+        .map(|_| RegionScratch::with_node_capacity(block))
+        .collect();
+
+    // Stagger initial act cycles uniformly over the first nominal period,
+    // so the network does not start phase-locked. Serial draws, exactly
+    // like the serial engine's setup.
+    for u in 0..n {
+        let offset = rng.gen_range(TICKS_PER_ROUND as usize) as u64;
+        scratches[u / block].push(SimTime(offset), Ev::Act(NodeId(u as u32), 0));
+    }
+
+    let mut epochs = EpochAccounting::default();
+    let mut merged: Vec<Entry> = Vec::new();
+    let mut sweep_q: Vec<Scheduled<Ev>> = Vec::new();
+    let mut sweep_events: u64 = 0;
+    let mut last_time: u64 = 0;
+    let mut prev_pass: Option<u64> = None;
+    let now_ticks: u64;
+
+    'run: loop {
+        let next = scratches
+            .iter()
+            .filter_map(|s| s.heap.peek().map(|top| top.time.ticks()))
+            .min();
+        let Some(next_t) = next else {
+            now_ticks = last_time;
+            break 'run;
+        };
+        if next_t > max_time {
+            now_ticks = max_time;
+            break 'run;
+        }
+        // Monotonic pass index: each (pass, region) stream is used at
+        // most once even when a sweep schedules events back inside an
+        // already-executed slice window (they run in the next pass).
+        let pass = prev_pass.map_or(next_t / SLICE_TICKS, |p| (p + 1).max(next_t / SLICE_TICKS));
+        prev_pass = Some(pass);
+        timings.slices += 1;
+        let slice_end = (pass + 1).saturating_mul(SLICE_TICKS);
+        let end = slice_end.min(max_time.saturating_add(1));
+
+        // Phase A: parallel region execution against a start-of-slice
+        // advertisement snapshot.
+        let t0 = Instant::now();
+        ads_snap.copy_from_slice(&ads);
+        {
+            let ctx = SliceCtx {
+                graph: topology,
+                protocol,
+                timing: &sched.timing,
+                drift: &drift,
+                ads_snap: &ads_snap,
+                gens: &gens,
+                seed,
+                pass,
+                end,
+                block,
+                dynamic: false,
+            };
+            execute_slice(
+                &ctx,
+                &mut scratches,
+                &mut matcher,
+                &mut states,
+                &mut ads,
+                &mut partner,
+                threads,
+            );
+        }
+        timings.execute += t0.elapsed();
+
+        // Phase B: merge region logs in (time, region) order and replay
+        // the accounting serially.
+        let t1 = Instant::now();
+        merged.clear();
+        for s in scratches.iter_mut() {
+            last_time = last_time.max(s.last_time);
+            merged.append(&mut s.log);
+        }
+        // Region logs are individually time-sorted; a stable sort keyed
+        // on time alone keeps region order as the tie-break.
+        merged.sort_by_key(|e| e.time);
+        for e in merged.iter() {
+            if let Some(history) = &mut result.rounds {
+                let row = SimTime(e.time).round_equivalent().max(1);
+                epochs.flush_rows_below(history, row, complete_nodes, messages_held);
+            }
+            match e.kind {
+                EntryKind::Finish { moved, newly_full } => {
+                    complete_nodes += newly_full;
+                    messages_held += moved;
+                    result.total_connections += 1;
+                    if moved > 0 {
+                        result.productive_connections += 1;
+                        epochs.productive += 1;
+                    } else {
+                        result.wasted_connections += 1;
+                    }
+                    epochs.connections += 1;
+                    if complete_nodes == n {
+                        result.completed = true;
+                        result.virtual_time_to_completion = Some(e.time);
+                        result.rounds_to_completion = Some(SimTime(e.time).round_equivalent());
+                        timings.merge += t1.elapsed();
+                        now_ticks = e.time;
+                        break 'run;
+                    }
+                }
+                EntryKind::Drop => result.dropped_proposals += 1,
+            }
+        }
+        timings.merge += t1.elapsed();
+
+        // Phase C: serial boundary sweep over the deferred cross-region
+        // events, in (time, region) order, against the full state.
+        let t2 = Instant::now();
+        sweep_q.clear();
+        for s in scratches.iter_mut() {
+            sweep_q.append(&mut s.deferred);
+        }
+        sweep_q.sort_by_key(|ev| ev.time);
+        let mut rng_sweep = Rng::stream(seed, pass, SWEEP_STREAM);
+        for ev in sweep_q.iter().copied() {
+            let now = ev.time;
+            last_time = last_time.max(now.ticks());
+            sweep_events += 1;
+            if let Some(history) = &mut result.rounds {
+                let row = now.round_equivalent().max(1);
+                epochs.flush_rows_below(history, row, complete_nodes, messages_held);
+            }
+            match ev.event {
+                Ev::Attempt { from, to, gen } => {
+                    debug_assert!(
+                        topology.are_neighbors(from, to),
+                        "protocol proposed {from} -> {to} across a non-edge"
+                    );
+                    if matcher.try_connect(topology, from, to) {
+                        partner[from.index()] = Some((to, true));
+                        partner[to.index()] = Some((from, false));
+                        let delay = sched.timing.latency(&mut rng_sweep);
+                        scratches[from.index() / block].push(
+                            now.after(delay),
+                            Ev::Finish {
+                                initiator: from,
+                                acceptor: to,
+                                gen_i: gen,
+                                gen_a: gens[to.index()],
+                            },
+                        );
+                    } else {
+                        matcher.cancel(from);
+                        result.dropped_proposals += 1;
+                        let delay = sched
+                            .timing
+                            .refresh_interval(drift[from.index()], &mut rng_sweep);
+                        scratches[from.index() / block].push(now.after(delay), Ev::Act(from, gen));
+                    }
+                }
+                Ev::Finish {
+                    initiator,
+                    acceptor,
+                    gen_i,
+                    ..
+                } => {
+                    let (i, j) = (initiator.index(), acceptor.index());
+                    let stats = states.union_pair_stats(i, j);
+                    complete_nodes += stats.newly_full;
+                    messages_held += stats.moved;
+                    result.total_connections += 1;
+                    if stats.moved > 0 {
+                        result.productive_connections += 1;
+                        epochs.productive += 1;
+                    } else {
+                        result.wasted_connections += 1;
+                    }
+                    epochs.connections += 1;
+                    matcher.release(initiator, acceptor);
+                    partner[i] = None;
+                    partner[j] = None;
+                    let delay = sched.timing.refresh_interval(drift[i], &mut rng_sweep);
+                    scratches[i / block].push(now.after(delay), Ev::Act(initiator, gen_i));
+                    if complete_nodes == n {
+                        result.completed = true;
+                        result.virtual_time_to_completion = Some(now.ticks());
+                        result.rounds_to_completion = Some(now.round_equivalent());
+                        timings.sweep += t2.elapsed();
+                        now_ticks = now.ticks();
+                        break 'run;
+                    }
+                }
+                Ev::Act(..) => unreachable!("act events are never deferred"),
+            }
+        }
+        timings.sweep += t2.elapsed();
+    }
+
+    result.complete_nodes = complete_nodes;
+    result.virtual_time = now_ticks.min(max_time);
+    result.rounds_executed = SimTime(result.virtual_time)
+        .round_equivalent()
+        .min(config.max_rounds);
+    if let Some(history) = &mut result.rounds {
+        epochs.flush_rows_below(
+            history,
+            result.rounds_executed + 1,
+            complete_nodes,
+            messages_held,
+        );
+    }
+    timings.events = scratches.iter().map(|s| s.events).sum::<u64>() + sweep_events;
+    (result, timings)
+}
+
+/// The sliced engine over a dynamic topology. Mutations apply serially
+/// at slice starts (the analogue of the sync scheduler's round-boundary
+/// semantics); the event phases are identical to [`run_sliced`] with the
+/// active graph and generation-stamp checks in play.
+pub(crate) fn run_dynamic_sliced(
+    sched: &AsyncScheduler,
+    topology: &Topology,
+    dynamics: &dyn DynamicsModel,
+    protocol: &dyn GossipProtocol,
+    sources: &[NodeId],
+    seed: u64,
+    config: &SimConfig,
+) -> (SimResult, SliceTimings) {
+    sched
+        .timing
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid timing config: {e}"));
+    let n = topology.num_nodes();
+    let mut rng = Rng::new(seed);
+    let (mut states, mut result) = init_run(topology, protocol, "async", sources, seed, config);
+    let mut dynr = DynRun::new(topology, dynamics, seed, &states);
+    let mut timings = SliceTimings::default();
+    if result.completed {
+        result.dynamics = Some(dynr.finish(SimTime::ZERO));
+        return (result, timings);
+    }
+
+    let max_time = (config.max_rounds as u64).saturating_mul(TICKS_PER_ROUND);
+    let drift: Vec<f64> = (0..n)
+        .map(|_| sched.timing.drift_factor(&mut rng))
+        .collect();
+    let mut ads: Vec<Advertisement> = (0..n)
+        .map(|u| protocol.advertise(states.view(u), 0))
+        .collect();
+    let mut ads_snap = ads.clone();
+    let mut matcher = IncrementalMatcher::new(n);
+    let mut partner: Vec<Option<(NodeId, bool)>> = vec![None; n];
+    // A node's incarnation number; death bumps it, orphaning every event
+    // queued against the old incarnation.
+    let mut gens: Vec<u64> = vec![0; n];
+
+    let block = n.div_ceil(EVENT_REGIONS);
+    let regions = n.div_ceil(block);
+    let threads = sched.threads.clamp(1, regions);
+    let mut scratches: Vec<RegionScratch> = (0..regions)
+        .map(|_| RegionScratch::with_node_capacity(block))
+        .collect();
+
+    for u in 0..n {
+        let offset = rng.gen_range(TICKS_PER_ROUND as usize) as u64;
+        scratches[u / block].push(SimTime(offset), Ev::Act(NodeId(u as u32), 0));
+    }
+
+    let mut epochs = EpochAccounting::default();
+    let mut merged: Vec<Entry> = Vec::new();
+    let mut sweep_q: Vec<Scheduled<Ev>> = Vec::new();
+    let mut sweep_events: u64 = 0;
+    let mut last_time: u64 = 0;
+    let mut prev_pass: Option<u64> = None;
+    let now_ticks: u64;
+
+    'run: loop {
+        let mut next = scratches
+            .iter()
+            .filter_map(|s| s.heap.peek().map(|top| top.time.ticks()))
+            .min();
+        if let Some(t) = dynr.peek_time() {
+            next = Some(next.map_or(t.ticks(), |x| x.min(t.ticks())));
+        }
+        let Some(next_t) = next else {
+            now_ticks = last_time;
+            break 'run;
+        };
+        if next_t > max_time {
+            now_ticks = max_time;
+            break 'run;
+        }
+        let pass = prev_pass.map_or(next_t / SLICE_TICKS, |p| (p + 1).max(next_t / SLICE_TICKS));
+        prev_pass = Some(pass);
+        timings.slices += 1;
+        let slice_end = (pass + 1).saturating_mul(SLICE_TICKS);
+        let end = slice_end.min(max_time.saturating_add(1));
+
+        // Phase 0 (serial): apply every mutation due inside this slice
+        // before any of its events execute, so deaths precede the
+        // slice's unions both physically and in the accounting.
+        let t2 = Instant::now();
+        let mut rng_mut = Rng::stream(seed, pass, MUTATE_STREAM);
+        let mut mutated = false;
+        let mut last_mut: u64 = 0;
+        while dynr.peek_time().is_some_and(|t| t.ticks() < end) {
+            let mutation = dynr.pop().expect("peeked mutation must pop");
+            let mtime = mutation.time;
+            if let MutationKind::Depart(u) = mutation.kind {
+                if dynr.topo.is_alive(u) {
+                    // Disentangle the node before it goes down.
+                    match matcher.state(u) {
+                        PeerState::Free => {}
+                        PeerState::Listening | PeerState::Proposing => matcher.cancel(u),
+                        PeerState::Connected => {
+                            let (v, u_initiated) =
+                                partner[u.index()].expect("connected node has a partner");
+                            matcher.release(u, v);
+                            partner[u.index()] = None;
+                            partner[v.index()] = None;
+                            dynr.stats.severed_connections += 1;
+                            if !u_initiated {
+                                // The survivor initiated: its act chain
+                                // was parked on the Finish event dying
+                                // with this connection — restart it.
+                                let delay = sched
+                                    .timing
+                                    .refresh_interval(drift[v.index()], &mut rng_mut);
+                                scratches[v.index() / block]
+                                    .push(mtime.after(delay), Ev::Act(v, gens[v.index()]));
+                            }
+                        }
+                    }
+                    gens[u.index()] += 1;
+                }
+            }
+            let applied = dynr.apply(&mutation, &mut states, sources);
+            if applied {
+                if let MutationKind::Rejoin { node, .. } = mutation.kind {
+                    // The revived node starts a fresh act chain.
+                    let delay = sched
+                        .timing
+                        .refresh_interval(drift[node.index()], &mut rng_mut);
+                    scratches[node.index() / block]
+                        .push(mtime.after(delay), Ev::Act(node, gens[node.index()]));
+                }
+            }
+            mutated = true;
+            last_mut = mtime.ticks();
+        }
+        if mutated && dynr.complete() {
+            result.completed = true;
+            result.virtual_time_to_completion = Some(last_mut);
+            result.rounds_to_completion = Some(SimTime(last_mut).round_equivalent());
+            timings.sweep += t2.elapsed();
+            now_ticks = last_mut;
+            break 'run;
+        }
+        timings.sweep += t2.elapsed();
+
+        // Phase A: parallel region execution over the active graph.
+        let t0 = Instant::now();
+        ads_snap.copy_from_slice(&ads);
+        {
+            let ctx = SliceCtx {
+                graph: &dynr.topo,
+                protocol,
+                timing: &sched.timing,
+                drift: &drift,
+                ads_snap: &ads_snap,
+                gens: &gens,
+                seed,
+                pass,
+                end,
+                block,
+                dynamic: true,
+            };
+            execute_slice(
+                &ctx,
+                &mut scratches,
+                &mut matcher,
+                &mut states,
+                &mut ads,
+                &mut partner,
+                threads,
+            );
+        }
+        timings.execute += t0.elapsed();
+
+        // Phase B: merge and replay, with alive-only accounting. Both
+        // endpoints of every logged transfer were alive for the whole
+        // slice (deaths applied in phase 0 bumped generations, so their
+        // events discarded).
+        let t1 = Instant::now();
+        merged.clear();
+        for s in scratches.iter_mut() {
+            last_time = last_time.max(s.last_time);
+            merged.append(&mut s.log);
+        }
+        merged.sort_by_key(|e| e.time);
+        for e in merged.iter() {
+            if let Some(history) = &mut result.rounds {
+                let row = SimTime(e.time).round_equivalent().max(1);
+                epochs.flush_rows_below(history, row, dynr.alive_informed, dynr.alive_messages);
+            }
+            match e.kind {
+                EntryKind::Finish { moved, newly_full } => {
+                    dynr.alive_informed += newly_full;
+                    dynr.alive_messages += moved;
+                    result.total_connections += 1;
+                    if moved > 0 {
+                        result.productive_connections += 1;
+                        epochs.productive += 1;
+                    } else {
+                        result.wasted_connections += 1;
+                    }
+                    epochs.connections += 1;
+                    dynr.record(SimTime(e.time));
+                    if dynr.complete() {
+                        result.completed = true;
+                        result.virtual_time_to_completion = Some(e.time);
+                        result.rounds_to_completion = Some(SimTime(e.time).round_equivalent());
+                        timings.merge += t1.elapsed();
+                        now_ticks = e.time;
+                        break 'run;
+                    }
+                }
+                EntryKind::Drop => result.dropped_proposals += 1,
+            }
+        }
+        timings.merge += t1.elapsed();
+
+        // Phase C: serial boundary sweep. `try_connect` consults the
+        // *current* active graph, so a target that died, an edge that
+        // faded, or a peer that moved away fails the attempt naturally.
+        let t2 = Instant::now();
+        sweep_q.clear();
+        for s in scratches.iter_mut() {
+            sweep_q.append(&mut s.deferred);
+        }
+        sweep_q.sort_by_key(|ev| ev.time);
+        let mut rng_sweep = Rng::stream(seed, pass, SWEEP_STREAM);
+        for ev in sweep_q.iter().copied() {
+            let now = ev.time;
+            last_time = last_time.max(now.ticks());
+            sweep_events += 1;
+            if let Some(history) = &mut result.rounds {
+                let row = now.round_equivalent().max(1);
+                epochs.flush_rows_below(history, row, dynr.alive_informed, dynr.alive_messages);
+            }
+            match ev.event {
+                Ev::Attempt { from, to, gen } => {
+                    if matcher.try_connect(&dynr.topo, from, to) {
+                        partner[from.index()] = Some((to, true));
+                        partner[to.index()] = Some((from, false));
+                        let delay = sched.timing.latency(&mut rng_sweep);
+                        scratches[from.index() / block].push(
+                            now.after(delay),
+                            Ev::Finish {
+                                initiator: from,
+                                acceptor: to,
+                                gen_i: gen,
+                                gen_a: gens[to.index()],
+                            },
+                        );
+                    } else {
+                        matcher.cancel(from);
+                        result.dropped_proposals += 1;
+                        let delay = sched
+                            .timing
+                            .refresh_interval(drift[from.index()], &mut rng_sweep);
+                        scratches[from.index() / block].push(now.after(delay), Ev::Act(from, gen));
+                    }
+                }
+                Ev::Finish {
+                    initiator,
+                    acceptor,
+                    gen_i,
+                    ..
+                } => {
+                    let (i, j) = (initiator.index(), acceptor.index());
+                    let stats = states.union_pair_stats(i, j);
+                    dynr.alive_informed += stats.newly_full;
+                    dynr.alive_messages += stats.moved;
+                    result.total_connections += 1;
+                    if stats.moved > 0 {
+                        result.productive_connections += 1;
+                        epochs.productive += 1;
+                    } else {
+                        result.wasted_connections += 1;
+                    }
+                    epochs.connections += 1;
+                    matcher.release(initiator, acceptor);
+                    partner[i] = None;
+                    partner[j] = None;
+                    let delay = sched.timing.refresh_interval(drift[i], &mut rng_sweep);
+                    scratches[i / block].push(now.after(delay), Ev::Act(initiator, gen_i));
+                    dynr.record(now);
+                    if dynr.complete() {
+                        result.completed = true;
+                        result.virtual_time_to_completion = Some(now.ticks());
+                        result.rounds_to_completion = Some(now.round_equivalent());
+                        timings.sweep += t2.elapsed();
+                        now_ticks = now.ticks();
+                        break 'run;
+                    }
+                }
+                Ev::Act(..) => unreachable!("act events are never deferred"),
+            }
+        }
+        timings.sweep += t2.elapsed();
+    }
+
+    result.complete_nodes = dynr.alive_informed;
+    result.virtual_time = now_ticks.min(max_time);
+    result.rounds_executed = SimTime(result.virtual_time)
+        .round_equivalent()
+        .min(config.max_rounds);
+    if let Some(history) = &mut result.rounds {
+        epochs.flush_rows_below(
+            history,
+            result.rounds_executed + 1,
+            dynr.alive_informed,
+            dynr.alive_messages,
+        );
+    }
+    result.dynamics = Some(dynr.finish(SimTime(result.virtual_time)));
+    timings.events = scratches.iter().map(|s| s.events).sum::<u64>() + sweep_events;
+    (result, timings)
+}

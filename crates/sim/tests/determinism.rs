@@ -10,13 +10,22 @@
 //! multi-node block so the parallel confined pass and the sweep are both
 //! load-bearing. Plus the pinned 1000-ring advert regression, re-verified
 //! against the CSR engine at several thread counts.
+//!
+//! The time-sliced asynchronous engine gets the same treatment: per-
+//! `(seed, slice, region)` RNG streams, a fixed 64-region event
+//! partition, and the serial boundary sweep make `AsyncScheduler` a pure
+//! function of its inputs too, so sliced runs at 1, 2, and 8 threads
+//! must be structurally identical — static and churning — and the
+//! original single-heap event loop survives as the `run_serial` oracle
+//! whose pre-sliced pinned output must never move.
 
+use gossip_core::time::TimingConfig;
 use gossip_core::{NodeId, Rng, Topology};
 use gossip_dynamics::{
     Churn, DynamicsModel, EdgeFading, RejoinPolicy, Waypoint, DEFAULT_SPEED_PER_ROUND,
 };
 use gossip_protocols::{AdvertGossip, GossipProtocol, UniformGossip};
-use gossip_sim::{random_sources, Scheduler, SimConfig, SimResult, SyncScheduler};
+use gossip_sim::{random_sources, AsyncScheduler, Scheduler, SimConfig, SimResult, SyncScheduler};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -181,6 +190,148 @@ fn pinned_ring_regression_holds_on_the_csr_engine_at_any_thread_count() {
         assert_eq!(result.productive_connections, 999, "threads={threads}");
         assert_eq!(result.wasted_connections, 0, "threads={threads}");
     }
+}
+
+fn async_sched(threads: usize) -> AsyncScheduler {
+    AsyncScheduler {
+        timing: TimingConfig::default(),
+        threads,
+    }
+}
+
+fn run_async_static(
+    threads: usize,
+    topo: &Topology,
+    proto: &dyn GossipProtocol,
+    k: usize,
+) -> SimResult {
+    let mut rng = Rng::new(0xfeed);
+    let sources = random_sources(topo.num_nodes(), k, &mut rng);
+    let cfg = SimConfig {
+        max_rounds: 60 * topo.num_nodes() + 200,
+        record_rounds: true,
+    };
+    async_sched(threads).run(topo, proto, &sources, 42, &cfg)
+}
+
+#[test]
+fn async_static_runs_are_identical_at_any_thread_count() {
+    // n = 384 gives every one of the 64 event regions a 6-node block, so
+    // most Attempt/Finish events resolve inside parallel regions while the
+    // cross-region ones exercise the boundary sweep — both paths are
+    // load-bearing for the identity.
+    for topo in topologies(384) {
+        for proto in protocols() {
+            let baseline = run_async_static(1, &topo, proto, 3);
+            assert!(
+                baseline.completed,
+                "async {} on {} must complete",
+                proto.name(),
+                topo.name()
+            );
+            for threads in THREAD_COUNTS {
+                let sharded = run_async_static(threads, &topo, proto, 3);
+                assert_eq!(
+                    baseline,
+                    sharded,
+                    "async {} on {}: {threads}-thread sliced run diverged",
+                    proto.name(),
+                    topo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn async_churn_runs_are_identical_at_any_thread_count() {
+    // Slice-boundary mutations are serial by construction; the identity
+    // check covers the interplay of generation bumps, severed-connection
+    // cleanup, and restart Acts feeding back into the region heaps.
+    let churn = Churn {
+        rate: 0.1,
+        rejoin: RejoinPolicy::Keep,
+        mean_downtime: 3.0,
+    };
+    for topo in topologies(96) {
+        for proto in protocols() {
+            let mut rng = Rng::new(0xfeed);
+            let sources = random_sources(topo.num_nodes(), 2, &mut rng);
+            let cfg = SimConfig {
+                max_rounds: 60 * topo.num_nodes() + 200,
+                record_rounds: true,
+            };
+            let baseline = async_sched(1).run_dynamic(&topo, &churn, proto, &sources, 77, &cfg);
+            for threads in THREAD_COUNTS {
+                let sharded =
+                    async_sched(threads).run_dynamic(&topo, &churn, proto, &sources, 77, &cfg);
+                assert_eq!(
+                    baseline,
+                    sharded,
+                    "async {} on {} under churn: {threads}-thread sliced run diverged",
+                    proto.name(),
+                    topo.name()
+                );
+            }
+        }
+    }
+}
+
+/// The exact scenario behind the CLI's pinned async acceptance run
+/// (`ring -n 1000 -m 1 --protocol advert --scheduler async --seed 42`):
+/// the experiment layer salts the seed before placing sources.
+const SOURCES_SEED_SALT: u64 = 0x50_0c_e5;
+
+fn pinned_async_scenario() -> (Topology, Vec<NodeId>, SimConfig) {
+    let topo = Topology::ring(1000);
+    let sources = random_sources(1000, 1, &mut Rng::new(42 ^ SOURCES_SEED_SALT));
+    let cfg = SimConfig {
+        max_rounds: gossip_sim::default_round_cap(1000),
+        record_rounds: false,
+    };
+    (topo, sources, cfg)
+}
+
+#[test]
+fn pinned_ring_regression_holds_on_the_sliced_engine_at_any_thread_count() {
+    // The sliced engine's own pinned regression (also asserted byte-for-
+    // byte through the CLI in crates/cli/tests/experiments.rs): advert
+    // gossip on a 1000-ring, one source, default timing. Relaxed ad reads
+    // and boundary-deferred handshakes make it take slightly longer than
+    // the globally-ordered oracle below, but the output is a constant of
+    // the inputs — independent of worker count.
+    let (topo, sources, cfg) = pinned_async_scenario();
+    for threads in THREAD_COUNTS {
+        let result = async_sched(threads).run(&topo, &AdvertGossip, &sources, 42, &cfg);
+        assert!(result.completed, "threads={threads}");
+        assert_eq!(
+            result.rounds_to_completion,
+            Some(935),
+            "threads={threads}: the pinned sliced ring sweep drifted"
+        );
+        assert_eq!(
+            result.virtual_time_to_completion,
+            Some(956925),
+            "threads={threads}"
+        );
+        assert_eq!(result.total_connections, 999, "threads={threads}");
+        assert_eq!(result.dropped_proposals, 1002, "threads={threads}");
+    }
+}
+
+#[test]
+fn pinned_ring_regression_holds_on_the_serial_oracle() {
+    // The pre-sliced event loop lives on as `run_serial`, and the output
+    // pinned through the CLI since PR 3 must never move: 890 rounds /
+    // 911045 ticks / 999 all-productive connections on the 1000-ring
+    // advert sweep.
+    let (topo, sources, cfg) = pinned_async_scenario();
+    let result = AsyncScheduler::default().run_serial(&topo, &AdvertGossip, &sources, 42, &cfg);
+    assert!(result.completed);
+    assert_eq!(result.rounds_to_completion, Some(890));
+    assert_eq!(result.virtual_time_to_completion, Some(911045));
+    assert_eq!(result.total_connections, 999);
+    assert_eq!(result.productive_connections, 999);
 }
 
 #[test]

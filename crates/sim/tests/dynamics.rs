@@ -293,6 +293,7 @@ fn async_severs_connections_whose_endpoints_die() {
         mean_downtime: 1.0,
     };
     let sched = AsyncScheduler {
+        threads: 1,
         timing: gossip_core::TimingConfig {
             min_latency: 512,
             max_latency: 2048,

@@ -175,7 +175,7 @@ fn async_history_counts_boundary_events() {
         min_latency: 512,
         max_latency: 512,
     };
-    let sched = AsyncScheduler { timing };
+    let sched = AsyncScheduler { timing, threads: 1 };
     let topo = Topology::ring(8);
     for seed in [318u64, 474, 1850, 1, 2, 3] {
         let result = run_with(&sched, &topo, &UniformGossip, 1, seed);
@@ -220,7 +220,7 @@ fn async_zero_drift_zero_jitter_still_completes() {
         min_latency: 64,
         max_latency: 64,
     };
-    let sched = AsyncScheduler { timing };
+    let sched = AsyncScheduler { timing, threads: 1 };
     let topo = Topology::ring(32);
     let result = run_with(&sched, &topo, &AdvertGossip, 1, 5);
     assert!(result.completed, "degenerate timing deadlocked the run");
@@ -234,7 +234,7 @@ fn async_heavy_drift_still_completes() {
         min_latency: 1,
         max_latency: 2048,
     };
-    let sched = AsyncScheduler { timing };
+    let sched = AsyncScheduler { timing, threads: 1 };
     let topo = Topology::grid(36);
     for proto in [&UniformGossip as &dyn GossipProtocol, &AdvertGossip] {
         let result = run_with(&sched, &topo, proto, 2, 8);
