@@ -17,17 +17,33 @@ use gossip_experiments::{
 };
 
 /// Outcome of argument parsing: run a scenario sweep, expand and run a
-/// grid, bench the engine, or print help.
+/// grid, bench the engine, analyze output files, or print help.
 // One Command exists per process; boxing the payloads to shrink the enum
 // would be indirection for its own sake.
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum Command {
-    Run(Scenario),
+    Run {
+        scenario: Scenario,
+        /// `--trace FILE`: stream every semantic event of every run in
+        /// the sweep to FILE as schema-versioned JSONL. An execution-only
+        /// knob — it never enters the scenario or its `scenario_id`, and
+        /// (by the engines' determinism-under-observation contract) never
+        /// changes the results.
+        trace: Option<String>,
+    },
     Bench(BenchScenario),
     /// A grid, already expanded into its validated cells (in the
     /// documented expansion order).
-    Grid(Vec<Scenario>),
+    Grid {
+        scenarios: Vec<Scenario>,
+        /// `--progress`: per-run heartbeat on stderr (cell i/N, elapsed,
+        /// ETA). Never touches stdout.
+        progress: bool,
+    },
+    /// `analyze FILE...`: read run lines and trace streams, print the
+    /// aggregate report (stdin when no files are given).
+    Analyze(Vec<String>),
     Help,
 }
 
@@ -46,6 +62,7 @@ USAGE:
     gossip-sim [OPTIONS]
     gossip-sim grid [GRID OPTIONS] [OPTIONS]
     gossip-sim bench [BENCH OPTIONS]
+    gossip-sim analyze [FILE...]
 
 SUBCOMMANDS:
     grid     expand topology \u{d7} protocol \u{d7} scheduler \u{d7} \u{2026} axes into a full
@@ -57,6 +74,10 @@ SUBCOMMANDS:
              line: sync specs bench the round loop (rounds/sec,
              node-events/sec, per-phase breakdown), async specs the sliced
              event loop (events/sec, execute/merge/sweep breakdown)
+    analyze  aggregate run lines and trace streams (files, or stdin when no
+             files are given) into a plain-text report: rounds-to-completion
+             percentiles per scenario, advert-vs-uniform speedup tables,
+             dissemination-depth stats, and per-region load balance
 
 GRID OPTIONS:
     --spec <FILE>                               spec file: [scenario] key = value base
@@ -65,6 +86,8 @@ GRID OPTIONS:
                                                 fastest), [output] format/history
     --axis <KEY=V1,V2,...>                      append one sweep axis (repeatable);
                                                 applied after the spec file's axes
+    --progress                                  per-cell heartbeat on stderr (cell i/N,
+                                                elapsed, ETA); stdout is untouched
     plus every run option below as a base assignment shared by all cells
     (overriding the spec file's [scenario] section)
 
@@ -74,6 +97,30 @@ OPTIONS:
     for def in ASSIGNMENTS.iter().filter(|d| d.run) {
         push_flag_lines(&mut out, def);
     }
+    out.push_str(&format!(
+        "    {:<width$}{}\n",
+        "--trace <FILE>",
+        "stream every semantic event of every run to",
+        width = HELP_COL - 4
+    ));
+    out.push_str(&format!(
+        "    {:<width$}{}\n",
+        "",
+        "FILE as schema-versioned JSONL (deterministic:",
+        width = HELP_COL - 4
+    ));
+    out.push_str(&format!(
+        "    {:<width$}{}\n",
+        "",
+        "byte-identical at any thread count, results",
+        width = HELP_COL - 4
+    ));
+    out.push_str(&format!(
+        "    {:<width$}{}\n",
+        "",
+        "unchanged); feed it to gossip-sim analyze",
+        width = HELP_COL - 4
+    ));
     out.push_str(&format!(
         "    {:<width$}print this help\n",
         "--help",
@@ -145,11 +192,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     if args.first().is_some_and(|a| a == "grid") {
         return parse_grid_args(&args[1..]);
     }
+    if args.first().is_some_and(|a| a == "analyze") {
+        return parse_analyze_args(&args[1..]);
+    }
     let mut builder = ScenarioBuilder::new();
+    let mut trace: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if is_help(arg) {
             return Ok(Command::Help);
+        }
+        // `--trace` is an execution-only knob, not a scenario assignment:
+        // it must not enter the builder (and hence the scenario_id), so it
+        // is handled as a literal like `grid`'s `--spec`/`--axis`.
+        if arg == "--trace" {
+            let path = it
+                .next()
+                .ok_or_else(|| "--trace requires a file path".to_string())?;
+            trace = Some(path.clone());
+            continue;
         }
         let def = lookup(arg, |d| d.run)
             .ok_or_else(|| format!("unknown argument '{arg}' (try --help)"))?;
@@ -158,8 +219,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
     builder
         .finish()
-        .map(Command::Run)
+        .map(|scenario| Command::Run { scenario, trace })
         .map_err(|errors| join_errors(&errors))
+}
+
+/// Parse the arguments of the `analyze` subcommand: just file paths (stdin
+/// when none are given). Any `--flag` here is a mistake worth rejecting —
+/// analyze takes no options.
+fn parse_analyze_args(args: &[String]) -> Result<Command, String> {
+    let mut paths = Vec::new();
+    for arg in args {
+        if is_help(arg) {
+            return Ok(Command::Help);
+        }
+        if arg.starts_with('-') {
+            return Err(format!("unknown analyze argument '{arg}' (try --help)"));
+        }
+        paths.push(arg.clone());
+    }
+    Ok(Command::Analyze(paths))
 }
 
 /// Parse the arguments of the `bench` subcommand (everything after the
@@ -193,10 +271,15 @@ fn parse_grid_args(args: &[String]) -> Result<Command, String> {
     let mut spec_path: Option<String> = None;
     let mut cli_axes: Vec<Axis> = Vec::new();
     let mut base: Vec<(&'static str, String)> = Vec::new();
+    let mut progress = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if is_help(arg) {
             return Ok(Command::Help);
+        }
+        if arg == "--progress" {
+            progress = true;
+            continue;
         }
         if arg == "--spec" {
             let path = it
@@ -242,7 +325,10 @@ fn parse_grid_args(args: &[String]) -> Result<Command, String> {
     // output is produced, and the binary runs exactly the cells the
     // parser validated.
     let scenarios = grid.expand().map_err(|e| e.to_string())?;
-    Ok(Command::Grid(scenarios))
+    Ok(Command::Grid {
+        scenarios,
+        progress,
+    })
 }
 
 #[cfg(test)]
@@ -257,7 +343,7 @@ mod tests {
 
     fn parse_run(args: &[&str]) -> Scenario {
         match parse(args) {
-            Ok(Command::Run(scenario)) => scenario,
+            Ok(Command::Run { scenario, .. }) => scenario,
             other => panic!("expected Run, got {other:?}"),
         }
     }
@@ -479,7 +565,10 @@ mod tests {
 
     #[test]
     fn grid_subcommand_parses_axes_and_base_flags() {
-        let Ok(Command::Grid(cells)) = parse(&[
+        let Ok(Command::Grid {
+            scenarios: cells,
+            progress,
+        }) = parse(&[
             "grid",
             "--nodes",
             "40",
@@ -489,17 +578,70 @@ mod tests {
             "topology=ring,grid",
             "--axis",
             "protocol=uniform,advert",
-        ]) else {
+        ])
+        else {
             panic!("expected Grid");
         };
         assert_eq!(cells.len(), 4);
         assert!(cells.iter().all(|s| s.nodes == 40 && s.seed == 3));
+        assert!(!progress, "progress defaults off");
+
+        let Ok(Command::Grid { progress, .. }) =
+            parse(&["grid", "--progress", "--axis", "seed=1,2"])
+        else {
+            panic!("expected Grid");
+        };
+        assert!(progress);
 
         assert!(parse(&["grid", "--axis", "nonsense"]).is_err());
         assert!(parse(&["grid", "--axis", "warp=1,2"]).is_err());
         assert!(parse(&["grid", "--axis", "topology=torus"]).is_err());
         assert!(parse(&["grid", "--spec", "/nonexistent/file.spec"]).is_err());
         assert!(parse(&["grid", "--seeds"]).is_err());
+    }
+
+    #[test]
+    fn trace_flag_is_execution_only() {
+        let Ok(Command::Run { scenario, trace }) =
+            parse(&["--nodes", "50", "--trace", "out.jsonl"])
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(trace.as_deref(), Some("out.jsonl"));
+        // The traced scenario is the same scenario: --trace never reaches
+        // the builder, so ids (and thus output lines) are unchanged.
+        assert_eq!(scenario, parse_run(&["--nodes", "50"]));
+        assert_eq!(parse_run(&["--nodes", "50"]).scenario_id(), {
+            let Ok(Command::Run { scenario, .. }) = parse(&["--nodes", "50", "--trace", "t"])
+            else {
+                panic!("expected Run");
+            };
+            scenario.scenario_id()
+        });
+
+        assert!(parse(&["--trace"]).is_err(), "--trace requires a path");
+        assert!(
+            parse(&["grid", "--trace", "t"]).is_err(),
+            "tracing a whole grid is not supported"
+        );
+        assert!(parse(&["bench", "--trace", "t"]).is_err());
+    }
+
+    #[test]
+    fn analyze_subcommand_parses() {
+        let Ok(Command::Analyze(paths)) = parse(&["analyze", "a.jsonl", "b.jsonl"]) else {
+            panic!("expected Analyze");
+        };
+        assert_eq!(paths, vec!["a.jsonl".to_string(), "b.jsonl".to_string()]);
+
+        let Ok(Command::Analyze(paths)) = parse(&["analyze"]) else {
+            panic!("expected Analyze");
+        };
+        assert!(paths.is_empty(), "no files means stdin");
+
+        assert!(matches!(parse(&["analyze", "--help"]), Ok(Command::Help)));
+        assert!(parse(&["analyze", "--frobnicate"]).is_err());
+        assert!(parse(&["analyze", "-"]).is_err());
     }
 
     #[test]
@@ -520,8 +662,8 @@ mod tests {
             let Some(key) = token.strip_prefix("--") else {
                 continue;
             };
-            let known =
-                ASSIGNMENTS.iter().any(|d| d.key == key) || ["help", "spec", "axis"].contains(&key);
+            let known = ASSIGNMENTS.iter().any(|d| d.key == key)
+                || ["help", "spec", "axis", "progress", "trace"].contains(&key);
             assert!(known, "usage advertises unknown flag --{key}");
         }
         // And every run-scoped flag round-trips through the parser with a

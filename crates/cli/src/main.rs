@@ -1,15 +1,43 @@
 use gossip_cli::{parse_args, usage, Command};
 use gossip_experiments::{
-    bench_to_json, effective_threads, run_bench, Emitter, Scenario, SchedulerSpec,
+    bench_to_json, effective_threads, run_bench, Emitter, RunMeta, Scenario, SchedulerSpec,
 };
-use std::io::Write;
+use gossip_telemetry::analyze::Analyzer;
+use gossip_telemetry::TraceWriter;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::time::Instant;
 
 /// Run a batch of scenarios (a single `run` invocation is a one-cell
-/// batch; a grid is many), streaming one line per run to stdout. Write
-/// errors are ignored: a closed pipe (`gossip-sim | head`) is a normal
-/// way for a consumer to stop reading output.
-fn run_and_emit(scenarios: &[Scenario]) {
-    let mut emitter = Emitter::new(scenarios[0].output.format, std::io::stdout().lock());
+/// batch; a grid is many), streaming one line per run to stdout through a
+/// buffered, explicitly flushed writer. I/O errors propagate to [`main`],
+/// which treats a closed pipe (`gossip-sim | head`) as a normal way for a
+/// consumer to stop reading and anything else as a real error.
+///
+/// With `trace`, every run's semantic events stream to the given file as
+/// schema-versioned JSONL: one header line per run, then one line per
+/// event. Tracing is execution-only — by the engines' determinism-under-
+/// observation contract the emitted run lines are byte-identical with it
+/// on or off, and the trace itself is byte-identical at any thread count.
+///
+/// With `progress`, a per-run heartbeat (run i/N, elapsed, ETA) goes to
+/// stderr; stdout stays reserved for run lines.
+fn run_and_emit(scenarios: &[Scenario], trace: Option<&str>, progress: bool) -> io::Result<()> {
+    let mut emitter = Emitter::new(
+        scenarios[0].output.format,
+        BufWriter::new(io::stdout().lock()),
+    );
+    let mut tracer = match trace {
+        Some(path) => {
+            let file = File::create(path)
+                .map_err(|e| io::Error::new(e.kind(), format!("--trace {path}: {e}")))?;
+            Some(TraceWriter::new(BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let total_runs: usize = scenarios.iter().map(|s| s.seeds).sum();
+    let sweep_started = Instant::now();
+    let mut done = 0usize;
     let mut clamp_warned = false;
     for scenario in scenarios {
         if let SchedulerSpec::Sync { threads } = scenario.scheduler {
@@ -20,43 +48,119 @@ fn run_and_emit(scenarios: &[Scenario]) {
                 }
             }
         }
-        for (result, meta) in scenario.sweep_timed_iter() {
-            let _ = emitter.emit(scenario, &result, &meta);
+        // The per-seed loop mirrors `Scenario::sweep_timed_iter` exactly
+        // (same seed derivation, same timing) but is inlined so the trace
+        // writer can stamp each run's header before probing it.
+        let threads = scenario.scheduler.effective_threads();
+        for offset in 0..scenario.seeds as u64 {
+            let one = scenario.with_seed(scenario.seed.wrapping_add(offset));
+            let started = Instant::now();
+            let result = match tracer.as_mut() {
+                Some(tw) => {
+                    tw.begin_run(&one.scenario_id(), one.nodes, one.messages, one.seed);
+                    one.run_probed(tw)
+                }
+                None => one.run(),
+            };
+            let meta = RunMeta {
+                threads,
+                wall_ms: started.elapsed().as_millis() as u64,
+            };
+            emitter.emit(scenario, &result, &meta)?;
+            done += 1;
             if !result.completed {
                 eprintln!(
                     "warning: {}: gossip did not complete within {} rounds",
-                    scenario.with_seed(result.seed).scenario_id(),
+                    one.scenario_id(),
                     result.rounds_executed
+                );
+            }
+            if progress {
+                let elapsed = sweep_started.elapsed().as_secs_f64();
+                let eta = elapsed / done as f64 * (total_runs.saturating_sub(done)) as f64;
+                eprintln!(
+                    "progress: run {done}/{total_runs} ({}) elapsed {elapsed:.1}s eta {eta:.1}s",
+                    one.scenario_id()
                 );
             }
         }
     }
+    emitter.into_inner().flush()?;
+    if let Some(tw) = tracer {
+        tw.finish()
+            .map_err(|e| io::Error::new(e.kind(), format!("--trace: {e}")))?;
+    }
+    Ok(())
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args) {
-        Ok(Command::Help) => {
-            let _ = std::io::stdout().write_all(usage().as_bytes());
+/// `analyze`: aggregate run lines and trace streams from the given files
+/// (stdin when none) into a plain-text report on stdout.
+fn analyze(paths: &[String]) -> io::Result<()> {
+    let mut analyzer = Analyzer::default();
+    if paths.is_empty() {
+        for line in io::stdin().lock().lines() {
+            analyzer.add_line(&line?);
         }
-        Ok(Command::Run(scenario)) => run_and_emit(&[scenario]),
-        Ok(Command::Grid(scenarios)) => {
+    } else {
+        for path in paths {
+            let file =
+                File::open(path).map_err(|e| io::Error::new(e.kind(), format!("{path}: {e}")))?;
+            for line in BufReader::new(file).lines() {
+                analyzer
+                    .add_line(&line.map_err(|e| io::Error::new(e.kind(), format!("{path}: {e}")))?);
+            }
+        }
+    }
+    let mut out = BufWriter::new(io::stdout().lock());
+    out.write_all(analyzer.report().as_bytes())?;
+    out.flush()
+}
+
+/// Dispatch the parsed command; every arm funnels its I/O into one
+/// `io::Result` so exit codes are decided in exactly one place.
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(command) => command,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return 2;
+        }
+    };
+    let outcome = match command {
+        Command::Help => io::stdout().write_all(usage().as_bytes()),
+        Command::Run { scenario, trace } => run_and_emit(&[scenario], trace.as_deref(), false),
+        Command::Grid {
+            scenarios,
+            progress,
+        } => {
             let runs: usize = scenarios.iter().map(|s| s.seeds).sum();
             eprintln!("grid: {} cell(s), {} run(s)", scenarios.len(), runs);
-            run_and_emit(&scenarios);
+            run_and_emit(&scenarios, None, progress)
         }
-        Ok(Command::Bench(bench)) => {
+        Command::Bench(bench) => {
             if let SchedulerSpec::Sync { threads } = bench.scenario.scheduler {
                 if let (_, Some(warning)) = effective_threads(threads) {
                     eprintln!("warning: {warning}");
                 }
             }
             let report = run_bench(&bench);
-            let _ = writeln!(std::io::stdout(), "{}", bench_to_json(&report));
+            writeln!(io::stdout(), "{}", bench_to_json(&report))
         }
-        Err(message) => {
-            eprintln!("error: {message}");
-            std::process::exit(2);
+        Command::Analyze(paths) => analyze(&paths),
+    };
+    match outcome {
+        Ok(()) => 0,
+        // A consumer hanging up early (`gossip-sim run | head`) is a
+        // normal end of output, not an error.
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
         }
     }
+}
+
+fn main() {
+    std::process::exit(real_main());
 }

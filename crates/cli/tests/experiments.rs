@@ -9,7 +9,7 @@ use gossip_experiments::{
 
 fn parse_run(args: &[&str]) -> Scenario {
     match parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()) {
-        Ok(Command::Run(scenario)) => scenario,
+        Ok(Command::Run { scenario, .. }) => scenario,
         other => panic!("expected a Run command, got {other:?}"),
     }
 }

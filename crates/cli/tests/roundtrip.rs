@@ -11,7 +11,7 @@ use gossip_experiments::{parse_spec, Scenario};
 
 fn parse_run(args: &[String]) -> Scenario {
     match parse_args(args) {
-        Ok(Command::Run(scenario)) => scenario,
+        Ok(Command::Run { scenario, .. }) => scenario,
         other => panic!("expected Run for {args:?}, got {other:?}"),
     }
 }

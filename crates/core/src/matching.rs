@@ -70,6 +70,16 @@ pub struct Resolution {
     /// participates in the rebound phase, exactly as if its target had
     /// merely declined.
     pub dropped_proposals: u64,
+    /// Proposals resolved inside a region of the partitioned resolver
+    /// (every listening neighbor in-region). Always zero from the serial
+    /// [`resolve_connections`], which has no partition. Together with
+    /// `boundary_proposals` this is the load-balance instrument of the
+    /// sharded resolver: a high boundary share means the partition is
+    /// fighting the topology.
+    pub confined_proposals: u64,
+    /// Proposals deferred to the serial boundary sweep of the partitioned
+    /// resolver. Zero from the serial resolver.
+    pub boundary_proposals: u64,
 }
 
 /// The two-phase resolution core shared by the serial resolver, every
@@ -199,6 +209,7 @@ pub fn resolve_connections<G: GraphView + ?Sized>(
     Resolution {
         connections,
         dropped_proposals,
+        ..Resolution::default()
     }
 }
 
@@ -226,6 +237,7 @@ struct RegionOut {
     connections: Vec<Connection>,
     deferred: Vec<(NodeId, NodeId)>,
     dropped: u64,
+    confined: u64,
 }
 
 /// One region's pass: split the region's proposers into *confined* ones —
@@ -269,6 +281,7 @@ fn resolve_region<G: GraphView + ?Sized>(
             out.deferred.push((u_id, v));
         }
     }
+    out.confined += confined.len() as u64;
     let mut rng = Rng::stream(seed, round, REGION_STREAM_BASE + region as u64);
     resolve_batch(
         &mut confined,
@@ -365,11 +378,14 @@ pub fn resolve_connections_sharded<G: GraphView + Sync + ?Sized>(
     let mut connections = Vec::new();
     let mut deferred: Vec<(NodeId, NodeId)> = Vec::new();
     let mut dropped_proposals = 0;
+    let mut confined_proposals = 0;
     for out in &mut outs {
         connections.append(&mut out.connections);
         deferred.extend_from_slice(&out.deferred);
         dropped_proposals += out.dropped;
+        confined_proposals += out.confined;
     }
+    let boundary_proposals = deferred.len() as u64;
     let mut rng = Rng::stream(seed, round, BOUNDARY_STREAM);
     resolve_batch(
         &mut deferred,
@@ -383,6 +399,8 @@ pub fn resolve_connections_sharded<G: GraphView + Sync + ?Sized>(
     Resolution {
         connections,
         dropped_proposals,
+        confined_proposals,
+        boundary_proposals,
     }
 }
 
@@ -727,6 +745,11 @@ mod tests {
                 "regions={regions}: some pairs must form"
             );
             assert_eq!(baseline.dropped_proposals, 0);
+            assert_eq!(
+                baseline.confined_proposals + baseline.boundary_proposals,
+                6,
+                "regions={regions}: every proposal is either confined or boundary"
+            );
             for threads in [2usize, 8] {
                 let sharded = resolve_connections_sharded(&topo, &intents, 9, 3, regions, threads);
                 assert_eq!(

@@ -72,6 +72,31 @@ fn union_rows(
     }
 }
 
+/// [`union_rows`] that additionally reports every message that moved, as
+/// `(message id, moved a → b)` in ascending id order. The union and stats
+/// are computed by the exact same code as the untraced path, so enabling
+/// tracing cannot change a transfer's outcome — only describe it.
+#[inline]
+fn union_rows_traced(
+    a: &mut [u64],
+    b: &mut [u64],
+    count_a: &mut u32,
+    count_b: &mut u32,
+    universe: usize,
+    moved: &mut Vec<(u32, bool)>,
+) -> TransferStats {
+    for (w, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        let mut diff = *x ^ *y;
+        let only_a = *x & !*y;
+        while diff != 0 {
+            let bit = diff.trailing_zeros();
+            diff &= diff - 1;
+            moved.push(((w * 64) as u32 + bit, only_a >> bit & 1 == 1));
+        }
+    }
+    union_rows(a, b, count_a, count_b, universe)
+}
+
 fn fingerprint_words(words: &[u64], universe: usize, salt: u64) -> u64 {
     if universe <= 64 {
         return words.first().copied().unwrap_or(0);
@@ -335,6 +360,40 @@ impl MessageMatrix {
         )
     }
 
+    /// [`union_pair_stats`](Self::union_pair_stats) that also appends every
+    /// moved message to `moved` as `(message id, moved i → j)`, in
+    /// ascending message-id order — the traced-transfer primitive probes
+    /// consume. Identical union and stats to the untraced form.
+    pub fn union_pair_stats_traced(
+        &mut self,
+        i: usize,
+        j: usize,
+        moved: &mut Vec<(u32, bool)>,
+    ) -> TransferStats {
+        assert_ne!(i, j, "a connection cannot join a node to itself");
+        let stride = self.stride;
+        let (lo, hi) = (i.min(j), i.max(j));
+        let (head, tail) = self.words.split_at_mut(hi * stride);
+        let (counts_head, counts_tail) = self.counts.split_at_mut(hi);
+        let start = moved.len();
+        let stats = union_rows_traced(
+            &mut head[lo * stride..(lo + 1) * stride],
+            &mut tail[..stride],
+            &mut counts_head[lo],
+            &mut counts_tail[0],
+            self.universe,
+            moved,
+        );
+        // The core reports lo → hi direction; flip when the caller's `i`
+        // is the hi row.
+        if i > j {
+            for m in &mut moved[start..] {
+                m.1 = !m.1;
+            }
+        }
+        stats
+    }
+
     /// The whole transfer phase of a round: every connection's row pair
     /// becomes its union, sharded over up to `threads` workers, returning
     /// the summed [`TransferStats`].
@@ -548,6 +607,38 @@ impl MatrixChunk<'_> {
             self.universe,
         )
     }
+
+    /// The in-region counterpart of
+    /// [`MessageMatrix::union_pair_stats_traced`]: same union and stats,
+    /// plus every moved message as `(message id, moved i → j)`.
+    pub fn union_pair_stats_traced(
+        &mut self,
+        i: usize,
+        j: usize,
+        moved: &mut Vec<(u32, bool)>,
+    ) -> TransferStats {
+        assert_ne!(i, j, "a connection cannot join a node to itself");
+        let (li, lj) = (self.local(i), self.local(j));
+        let stride = self.stride;
+        let (lo, hi) = (li.min(lj), li.max(lj));
+        let (head, tail) = self.words.split_at_mut(hi * stride);
+        let (counts_head, counts_tail) = self.counts.split_at_mut(hi);
+        let start = moved.len();
+        let stats = union_rows_traced(
+            &mut head[lo * stride..(lo + 1) * stride],
+            &mut tail[..stride],
+            &mut counts_head[lo],
+            &mut counts_tail[0],
+            self.universe,
+            moved,
+        );
+        if i > j {
+            for m in &mut moved[start..] {
+                m.1 = !m.1;
+            }
+        }
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -724,6 +815,43 @@ mod tests {
                 "threads={threads}: stats diverged"
             );
         }
+    }
+
+    #[test]
+    fn traced_union_reports_every_moved_message_and_matches_untraced() {
+        let mut m = MessageMatrix::new(2, 130);
+        m.insert(0, 0);
+        m.insert(0, 100);
+        m.insert(1, 100);
+        m.insert(1, 129);
+        let mut untraced = m.clone();
+        let mut moved = Vec::new();
+        let stats = m.union_pair_stats_traced(1, 0, &mut moved);
+        assert_eq!(stats, untraced.union_pair_stats(1, 0));
+        assert_eq!(m, untraced, "tracing must not change the union");
+        // Ascending message order; direction is relative to (i=1, j=0):
+        // message 0 moves 0→1 (false), 129 moves 1→0 (true).
+        assert_eq!(moved, vec![(0, false), (129, true)]);
+        // Re-union moves nothing and appends nothing.
+        moved.clear();
+        let stats = m.union_pair_stats_traced(0, 1, &mut moved);
+        assert_eq!(stats, TransferStats::default());
+        assert!(moved.is_empty());
+    }
+
+    #[test]
+    fn chunk_traced_union_matches_full_matrix() {
+        let (mut m, _) = transfer_fixture(10);
+        let mut full = m.clone();
+        let mut moved_full = Vec::new();
+        let full_stats = full.union_pair_stats_traced(6, 5, &mut moved_full);
+        let mut chunks: Vec<_> = m.region_chunks(4).collect();
+        let mut moved_chunk = Vec::new();
+        let chunk_stats = chunks[1].union_pair_stats_traced(6, 5, &mut moved_chunk);
+        drop(chunks);
+        assert_eq!(chunk_stats, full_stats);
+        assert_eq!(moved_chunk, moved_full);
+        assert_eq!(m, full);
     }
 
     #[test]

@@ -10,14 +10,17 @@
 use crate::emit::{json_num, json_str};
 use crate::spec::{Scenario, SchedulerSpec};
 use gossip_sim::{AsyncScheduler, SimConfig, SliceTimings, SyncScheduler};
+use gossip_telemetry::metrics::{regions_for, LoadSummary, Registry};
 
 use std::time::Instant;
 
 /// Version of the bench line format, independent of the run/grid
 /// [`SCHEMA_VERSION`](crate::emit::SCHEMA_VERSION) (which stays at 1 —
 /// run and grid lines are unchanged). Version 2 added the `phase_ms`
-/// per-phase timing breakdown.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// per-phase timing breakdown; version 3 added the `region_load`
+/// balance summary (plus, for sync, the confined/boundary proposal
+/// split of the sharded resolver).
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// One bench invocation: a [`Scenario`] (built by the same
 /// [`ScenarioBuilder`](crate::ScenarioBuilder) as every other front-end,
@@ -72,6 +75,12 @@ pub struct BenchReport {
     /// essentially all of `wall_ms`; comparing breakdowns across
     /// `--threads` shows which phases a thread count actually buys down.
     pub phases: EnginePhases,
+    /// How evenly the engine's fixed 64-region partition was loaded:
+    /// connections per region under the sync resolver, events per
+    /// region under the sliced event loop. Thread-independent (the
+    /// partition is), so imbalance here is a property of the topology,
+    /// not of the machine.
+    pub region_load: LoadSummary,
 }
 
 /// The engine-specific half of a [`BenchReport`]: which loop ran and its
@@ -106,6 +115,12 @@ pub struct PhaseMs {
     pub matching: f64,
     /// Phase 4: push-pull transfer.
     pub transfer: f64,
+    /// Proposals the sharded resolver settled entirely inside one
+    /// region, summed over rounds.
+    pub confined_proposals: u64,
+    /// Proposals deferred to the serial boundary sweep (both endpoints
+    /// in different regions) — the serial-fraction instrument.
+    pub boundary_proposals: u64,
 }
 
 impl From<gossip_sim::PhaseTimings> for PhaseMs {
@@ -116,6 +131,8 @@ impl From<gossip_sim::PhaseTimings> for PhaseMs {
             decide: ms(t.decide),
             matching: ms(t.matching),
             transfer: ms(t.transfer),
+            confined_proposals: t.confined_proposals,
+            boundary_proposals: t.boundary_proposals,
         }
     }
 }
@@ -173,7 +190,7 @@ pub fn run_bench(bench: &BenchScenario) -> BenchReport {
         record_rounds: false,
     };
     let running = Instant::now();
-    let (result, phases) = match &scenario.scheduler {
+    let (result, phases, region_load) = match &scenario.scheduler {
         SchedulerSpec::Sync { .. } => {
             let scheduler = SyncScheduler::with_threads(threads);
             let (result, timings) = scheduler.run_with_timings(
@@ -183,7 +200,10 @@ pub fn run_bench(bench: &BenchScenario) -> BenchReport {
                 scenario.seed,
                 &sim_cfg,
             );
-            (result, EnginePhases::Sync(timings.into()))
+            let load = timings
+                .connections_by_region
+                .summary(regions_for(scenario.nodes));
+            (result, EnginePhases::Sync(timings.into()), load)
         }
         SchedulerSpec::Async { timing, .. } => {
             let scheduler = AsyncScheduler {
@@ -198,7 +218,14 @@ pub fn run_bench(bench: &BenchScenario) -> BenchReport {
                 &sim_cfg,
             );
             let secs = running.elapsed().as_secs_f64();
-            (result, EnginePhases::Async(SliceMs::new(timings, secs)))
+            let load = timings
+                .events_by_region
+                .summary(regions_for(scenario.nodes));
+            (
+                result,
+                EnginePhases::Async(SliceMs::new(timings, secs)),
+                load,
+            )
         }
     };
     let wall = running.elapsed();
@@ -223,6 +250,48 @@ pub fn run_bench(bench: &BenchScenario) -> BenchReport {
         productive_connections: result.productive_connections,
         complete_nodes: result.complete_nodes,
         phases,
+        region_load,
+    }
+}
+
+impl BenchReport {
+    /// Flatten this report into a [`Registry`] — the typed metrics view
+    /// of a bench line: accounting totals as counters, throughput and
+    /// phase times as gauges, the per-region load summary as a
+    /// histogram-free counter set. Downstream tools aggregating many
+    /// bench runs can merge registries instead of re-parsing JSON.
+    pub fn registry(&self) -> Registry {
+        let mut reg = Registry::default();
+        reg.inc("rounds_executed", self.rounds_executed as u64);
+        reg.inc("total_connections", self.total_connections as u64);
+        reg.inc("productive_connections", self.productive_connections as u64);
+        reg.inc("complete_nodes", self.complete_nodes as u64);
+        reg.set_gauge("wall_ms", self.wall_ms as f64);
+        reg.set_gauge("rounds_per_sec", self.rounds_per_sec);
+        reg.set_gauge("node_events_per_sec", self.node_events_per_sec);
+        match &self.phases {
+            EnginePhases::Sync(p) => {
+                reg.set_gauge("phase_ms.advertise", p.advertise);
+                reg.set_gauge("phase_ms.decide", p.decide);
+                reg.set_gauge("phase_ms.match", p.matching);
+                reg.set_gauge("phase_ms.transfer", p.transfer);
+                reg.inc("confined_proposals", p.confined_proposals);
+                reg.inc("boundary_proposals", p.boundary_proposals);
+            }
+            EnginePhases::Async(s) => {
+                reg.set_gauge("phase_ms.execute", s.execute);
+                reg.set_gauge("phase_ms.merge", s.merge);
+                reg.set_gauge("phase_ms.sweep", s.sweep);
+                reg.inc("slices", s.slices);
+                reg.inc("events", s.events);
+                reg.set_gauge("events_per_sec", s.events_per_sec);
+            }
+        }
+        reg.inc("region_load.total", self.region_load.total);
+        reg.inc("region_load.min", self.region_load.min);
+        reg.inc("region_load.max", self.region_load.max);
+        reg.set_gauge("region_load.imbalance", self.region_load.imbalance);
+        reg
     }
 }
 
@@ -262,8 +331,10 @@ pub fn bench_to_json(report: &BenchReport) -> String {
     out.push(',');
     match &report.phases {
         EnginePhases::Sync(p) => out.push_str(&format!(
-            "\"phase_ms\":{{\"advertise\":{:.2},\"decide\":{:.2},\"match\":{:.2},\"transfer\":{:.2}}}",
-            p.advertise, p.decide, p.matching, p.transfer
+            "\"phase_ms\":{{\"advertise\":{:.2},\"decide\":{:.2},\"match\":{:.2},\"transfer\":{:.2}}},\
+             \"confined_proposals\":{},\"boundary_proposals\":{}",
+            p.advertise, p.decide, p.matching, p.transfer, p.confined_proposals,
+            p.boundary_proposals
         )),
         EnginePhases::Async(s) => out.push_str(&format!(
             "\"phase_ms\":{{\"execute\":{:.2},\"merge\":{:.2},\"sweep\":{:.2}}},\
@@ -271,6 +342,12 @@ pub fn bench_to_json(report: &BenchReport) -> String {
             s.execute, s.merge, s.sweep, s.slices, s.events, s.events_per_sec
         )),
     }
+    out.push(',');
+    let rl = &report.region_load;
+    out.push_str(&format!(
+        "\"region_load\":{{\"regions\":{},\"total\":{},\"min\":{},\"max\":{},\"mean\":{:.2},\"imbalance\":{:.2}}}",
+        rl.regions, rl.total, rl.min, rl.max, rl.mean, rl.imbalance
+    ));
     out.push(',');
     out.push_str(&format!(
         "\"rounds_per_sec\":{:.2},\"node_events_per_sec\":{:.2}",
@@ -324,9 +401,12 @@ mod tests {
         assert_eq!(report.complete_nodes, again.complete_nodes);
 
         assert!(matches!(report.phases, EnginePhases::Sync(_)));
+        // Every connection lands in exactly one region tally.
+        assert_eq!(report.region_load.total, report.total_connections as u64);
+        assert_eq!(report.region_load.regions, 63, "2000 nodes -> 63 regions");
         let json = bench_to_json(&report);
         for key in [
-            "\"schema\":2",
+            "\"schema\":3",
             "\"bench\":\"sync_round_loop\"",
             "\"scenario_id\":\"ring-advert-sync-n2000-k1-s5\"",
             "\"topology\":\"ring\"",
@@ -338,6 +418,10 @@ mod tests {
             "\"decide\":",
             "\"match\":",
             "\"transfer\":",
+            "\"confined_proposals\":",
+            "\"boundary_proposals\":",
+            "\"region_load\":{\"regions\":63,",
+            "\"imbalance\":",
             "\"rounds_per_sec\":",
             "\"node_events_per_sec\":",
             "\"wall_ms\":",
@@ -347,6 +431,17 @@ mod tests {
             assert!(json.contains(key), "bench JSON missing {key}: {json}");
         }
         assert!(!json.contains('\n'), "bench output must be line-oriented");
+
+        let reg = report.registry();
+        assert_eq!(
+            reg.counter("total_connections"),
+            Some(report.total_connections as u64)
+        );
+        assert_eq!(
+            reg.counter("region_load.total"),
+            Some(report.region_load.total)
+        );
+        assert!(reg.gauge("phase_ms.match").is_some());
     }
 
     #[test]
@@ -376,9 +471,14 @@ mod tests {
         assert_eq!(report.total_connections, again.total_connections);
         assert_eq!(report.complete_nodes, again.complete_nodes);
 
+        // Region pops account for every event except serial sweep
+        // executions.
+        assert!(report.region_load.total <= slice.events);
+        assert!(report.region_load.total > 0);
+
         let json = bench_to_json(&report);
         for key in [
-            "\"schema\":2",
+            "\"schema\":3",
             "\"bench\":\"async_event_loop\"",
             "\"phase_ms\":{\"execute\":",
             "\"merge\":",
@@ -386,9 +486,14 @@ mod tests {
             "\"slices\":",
             "\"events\":",
             "\"events_per_sec\":",
+            "\"region_load\":{\"regions\":63,",
         ] {
             assert!(json.contains(key), "async bench JSON missing {key}: {json}");
         }
         assert!(!json.contains('\n'), "bench output must be line-oriented");
+
+        let reg = report.registry();
+        assert_eq!(reg.counter("events"), Some(slice.events));
+        assert!(reg.gauge("events_per_sec").is_some());
     }
 }

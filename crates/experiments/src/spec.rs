@@ -23,6 +23,7 @@ use gossip_sim::{
     default_round_cap, random_sources, AsyncScheduler, Scheduler, SimConfig, SimResult,
     SyncScheduler,
 };
+use gossip_telemetry::{NoopProbe, Probe};
 
 use crate::emit::RunMeta;
 use std::time::Instant;
@@ -535,20 +536,38 @@ impl Scenario {
     /// configs take the dynamics-free fast path, whose output is
     /// bit-for-bit that of pre-dynamics builds.
     pub fn run(&self) -> SimResult {
+        self.run_probed(&mut NoopProbe)
+    }
+
+    /// [`run`](Self::run) under observation: every semantic event of the
+    /// run — proposals, connections, rejections, transfers, mutations,
+    /// round/slice boundaries — is reported to `probe` in one
+    /// deterministic order. The probe never consumes engine randomness,
+    /// so the returned [`SimResult`] is byte-identical to an unprobed
+    /// run of the same scenario at any thread count.
+    pub fn run_probed(&self, probe: &mut dyn Probe) -> SimResult {
         let (topology, geometry) = self.topology.build(self.nodes, self.seed);
         let protocol = self.protocol.build();
         let scheduler = self.scheduler.build();
         let sources = self.sources();
         let sim_cfg = self.sim_config();
         match self.dynamics.build(geometry.as_ref()) {
-            None => scheduler.run(&topology, protocol.as_ref(), &sources, self.seed, &sim_cfg),
-            Some(dynamics) => scheduler.run_dynamic(
+            None => scheduler.run_probed(
+                &topology,
+                protocol.as_ref(),
+                &sources,
+                self.seed,
+                &sim_cfg,
+                probe,
+            ),
+            Some(dynamics) => scheduler.run_dynamic_probed(
                 &topology,
                 dynamics.as_ref(),
                 protocol.as_ref(),
                 &sources,
                 self.seed,
                 &sim_cfg,
+                probe,
             ),
         }
     }

@@ -10,6 +10,26 @@ use crate::metrics::{CoveragePoint, DynamicsStats};
 use gossip_core::time::TICKS_PER_ROUND;
 use gossip_core::{DynamicTopology, MessageMatrix, NodeId, SimTime, Topology};
 use gossip_dynamics::{dynamics_seed, DynamicsModel, Mutation, MutationKind, MutationStream};
+use gossip_telemetry::{MutateKind, Probe, TraceEvent};
+
+/// The [`TraceEvent::Mutate`] record for an applied mutation, stamped with
+/// the round (or slice pass) whose window it lands in.
+pub(crate) fn mutate_event(mutation: &Mutation, round: u64) -> TraceEvent {
+    let (kind, node, peer) = match &mutation.kind {
+        MutationKind::Depart(u) => (MutateKind::Depart, u.0, None),
+        MutationKind::Rejoin { node, .. } => (MutateKind::Rejoin, node.0, None),
+        MutationKind::EdgeDown(a, b) => (MutateKind::EdgeDown, a.0, Some(b.0)),
+        MutationKind::EdgeUp(a, b) => (MutateKind::EdgeUp, a.0, Some(b.0)),
+        MutationKind::Rewire { node, .. } => (MutateKind::Rewire, node.0, None),
+    };
+    TraceEvent::Mutate {
+        t: mutation.time.ticks(),
+        round,
+        kind,
+        node,
+        peer,
+    }
+}
 
 /// Timeline points before thinning kicks in: beyond this, every other
 /// point is dropped and the sampling stride doubles, so the timeline stays
@@ -159,6 +179,28 @@ impl DynRun {
         while self.stream.peek_time().is_some_and(|t| t < horizon) {
             let mutation = self.stream.next().expect("peeked mutation must pop");
             changed |= self.apply(&mutation, states, sources);
+        }
+        changed
+    }
+
+    /// [`drain_until`](Self::drain_until) with a `Mutate` trace record for
+    /// every mutation that changed anything — the identical pop/apply
+    /// sequence, so enabling tracing cannot alter the run.
+    pub fn drain_until_probed(
+        &mut self,
+        horizon: SimTime,
+        states: &mut MessageMatrix,
+        sources: &[NodeId],
+        probe: &mut dyn Probe,
+        round: u64,
+    ) -> bool {
+        let mut changed = false;
+        while self.stream.peek_time().is_some_and(|t| t < horizon) {
+            let mutation = self.stream.next().expect("peeked mutation must pop");
+            if self.apply(&mutation, states, sources) {
+                changed = true;
+                probe.record(&mutate_event(&mutation, round));
+            }
         }
         changed
     }

@@ -46,6 +46,7 @@ use gossip_core::time::{SimTime, TimingConfig, TICKS_PER_ROUND};
 use gossip_core::{Advertisement, IncrementalMatcher, Intent, NodeId, PeerState, Rng, Topology};
 use gossip_dynamics::{DynamicsModel, MutationKind};
 use gossip_protocols::{GossipProtocol, NodeCtx};
+use gossip_telemetry::{NoopProbe, Probe};
 
 /// Event-driven scheduler for the asynchronous mobile telephone model.
 ///
@@ -158,18 +159,19 @@ impl Scheduler for AsyncScheduler {
         "async"
     }
 
-    fn run(
+    fn run_probed(
         &self,
         topology: &Topology,
         protocol: &dyn GossipProtocol,
         sources: &[NodeId],
         seed: u64,
         config: &SimConfig,
+        probe: &mut dyn Probe,
     ) -> SimResult {
-        crate::sliced::run_sliced(self, topology, protocol, sources, seed, config).0
+        crate::sliced::run_sliced(self, topology, protocol, sources, seed, config, probe).0
     }
 
-    fn run_dynamic(
+    fn run_dynamic_probed(
         &self,
         topology: &Topology,
         dynamics: &dyn DynamicsModel,
@@ -177,9 +179,12 @@ impl Scheduler for AsyncScheduler {
         sources: &[NodeId],
         seed: u64,
         config: &SimConfig,
+        probe: &mut dyn Probe,
     ) -> SimResult {
-        crate::sliced::run_dynamic_sliced(self, topology, dynamics, protocol, sources, seed, config)
-            .0
+        crate::sliced::run_dynamic_sliced(
+            self, topology, dynamics, protocol, sources, seed, config, probe,
+        )
+        .0
     }
 }
 
@@ -194,7 +199,15 @@ impl AsyncScheduler {
         seed: u64,
         config: &SimConfig,
     ) -> (SimResult, SliceTimings) {
-        crate::sliced::run_sliced(self, topology, protocol, sources, seed, config)
+        crate::sliced::run_sliced(
+            self,
+            topology,
+            protocol,
+            sources,
+            seed,
+            config,
+            &mut NoopProbe,
+        )
     }
 
     /// The original single-heap, globally time-ordered event loop, kept

@@ -36,11 +36,17 @@ use std::time::{Duration, Instant};
 use gossip_core::time::{SimTime, TICKS_PER_ROUND};
 use gossip_core::topology::GraphView;
 use gossip_core::{
-    resolve_connections_sharded, Advertisement, Intent, MessageMatrix, NodeId, Rng, Topology,
-    MATCH_REGIONS,
+    resolve_connections_sharded, Advertisement, Connection, Intent, MessageMatrix, NodeId,
+    Resolution, Rng, Topology, TransferStats, MATCH_REGIONS,
 };
 use gossip_dynamics::DynamicsModel;
 use gossip_protocols::{GossipProtocol, NodeCtx};
+use gossip_telemetry::metrics::RegionLoad;
+use gossip_telemetry::{BoundaryScope, NoopProbe, Probe, TraceEvent};
+
+// The telemetry crate's fixed region width must mirror the engines' — the
+// per-region load counters index one with the other's partition.
+const _: () = assert!(MATCH_REGIONS == gossip_telemetry::metrics::REGIONS);
 
 /// An execution model for gossip in the mobile telephone model: drives a
 /// protocol over a topology and reports [`SimResult`] metrics. Identical
@@ -50,9 +56,47 @@ pub trait Scheduler {
     /// Stable scheduler name, used in CLI selection and reporting.
     fn name(&self) -> &'static str;
 
-    /// Run one simulation: message `m` starts at `sources[m]`, and the run
-    /// ends when every node holds every message or the `config` cap
-    /// (rounds, or the equivalent virtual time) is hit.
+    /// Run one simulation under observation: message `m` starts at
+    /// `sources[m]`, the run ends when every node holds every message or
+    /// the `config` cap (rounds, or the equivalent virtual time) is hit,
+    /// and `probe` observes every semantic event along the way. The
+    /// determinism contract extends to observation: the `SimResult` is
+    /// byte-identical whether the probe is enabled or not, and an enabled
+    /// probe sees the identical event sequence at any thread count.
+    fn run_probed(
+        &self,
+        topology: &Topology,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+        probe: &mut dyn Probe,
+    ) -> SimResult;
+
+    /// [`run_probed`](Self::run_probed) over a network mutating under
+    /// `dynamics`: the topology starts as `topology` and changes as the
+    /// model's mutation stream fires. Completion is measured over
+    /// currently-alive nodes, and [`SimResult::dynamics`] reports the
+    /// churn-aware metrics. Both schedulers consume the identical stream
+    /// for a given seed, so sync-vs-async comparisons stay
+    /// apples-to-apples.
+    // The argument list *is* the determinism contract — every input that
+    // shapes the run, plus the observer. Bundling them into a struct
+    // would just rename the problem.
+    #[allow(clippy::too_many_arguments)]
+    fn run_dynamic_probed(
+        &self,
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+        probe: &mut dyn Probe,
+    ) -> SimResult;
+
+    /// [`run_probed`](Self::run_probed) without observation — the
+    /// disabled probe costs one branch per round.
     fn run(
         &self,
         topology: &Topology,
@@ -60,14 +104,12 @@ pub trait Scheduler {
         sources: &[NodeId],
         seed: u64,
         config: &SimConfig,
-    ) -> SimResult;
+    ) -> SimResult {
+        self.run_probed(topology, protocol, sources, seed, config, &mut NoopProbe)
+    }
 
-    /// [`run`](Self::run) over a network mutating under `dynamics`: the
-    /// topology starts as `topology` and changes as the model's mutation
-    /// stream fires. Completion is measured over currently-alive nodes,
-    /// and [`SimResult::dynamics`] reports the churn-aware metrics. Both
-    /// schedulers consume the identical stream for a given seed, so
-    /// sync-vs-async comparisons stay apples-to-apples.
+    /// [`run_dynamic_probed`](Self::run_dynamic_probed) without
+    /// observation.
     fn run_dynamic(
         &self,
         topology: &Topology,
@@ -76,7 +118,17 @@ pub trait Scheduler {
         sources: &[NodeId],
         seed: u64,
         config: &SimConfig,
-    ) -> SimResult;
+    ) -> SimResult {
+        self.run_dynamic_probed(
+            topology,
+            dynamics,
+            protocol,
+            sources,
+            seed,
+            config,
+            &mut NoopProbe,
+        )
+    }
 }
 
 /// Shared run setup: seed the per-node message matrix from `sources` and
@@ -139,6 +191,16 @@ pub struct PhaseTimings {
     pub matching: Duration,
     /// Phase 4: push-pull transfer over the matched pairs.
     pub transfer: Duration,
+    /// Connections formed per matching region (by initiator), summed over
+    /// rounds — the resolver's load-balance instrument. Deterministic:
+    /// the partition is fixed, never a function of the thread count.
+    pub connections_by_region: RegionLoad,
+    /// Proposals resolved inside their own region, summed over rounds.
+    pub confined_proposals: u64,
+    /// Proposals deferred to the serial boundary sweep, summed over
+    /// rounds. A high boundary share means the fixed partition is
+    /// fighting the topology.
+    pub boundary_proposals: u64,
 }
 
 /// The synchronous round-based scheduler from the PODC 2017 paper: every
@@ -185,6 +247,21 @@ impl SyncScheduler {
         seed: u64,
         config: &SimConfig,
     ) -> (SimResult, PhaseTimings) {
+        self.run_with_timings_probed(topology, protocol, sources, seed, config, &mut NoopProbe)
+    }
+
+    /// [`run_with_timings`](Self::run_with_timings) under observation —
+    /// the full-fidelity entry point the trait methods and the bench
+    /// harness both funnel through.
+    pub fn run_with_timings_probed(
+        &self,
+        topology: &Topology,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+        probe: &mut dyn Probe,
+    ) -> (SimResult, PhaseTimings) {
         let n = topology.num_nodes();
         let mut timings = PhaseTimings::default();
         let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
@@ -192,6 +269,7 @@ impl SyncScheduler {
             return (result, timings);
         }
         let mut complete_nodes = result.complete_nodes;
+        let region_block = n.div_ceil(MATCH_REGIONS.clamp(1, n));
 
         let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
         let mut intents: Vec<Intent> = vec![Intent::Idle; n];
@@ -235,15 +313,30 @@ impl SyncScheduler {
             );
 
             // Phase 4: push-pull transfer over the (node-disjoint)
-            // matched pairs.
+            // matched pairs. The traced path runs the identical per-pair
+            // unions serially so moved messages emit in deterministic
+            // order — the pairs are node-disjoint, so the totals (and the
+            // matrix) cannot differ from the parallel path.
             let t3 = Instant::now();
-            let transfer = states.union_pairs_parallel(&resolution.connections, self.threads);
+            let transfer = if probe.enabled() {
+                emit_round_events(probe, topology, &intents, &resolution, round as u64);
+                traced_transfer(probe, &mut states, &resolution.connections, round as u64)
+            } else {
+                states.union_pairs_parallel(&resolution.connections, self.threads)
+            };
             let t4 = Instant::now();
 
             timings.advertise += t1 - t0;
             timings.decide += t2 - t1;
             timings.matching += t3 - t2;
             timings.transfer += t4 - t3;
+            for c in &resolution.connections {
+                timings
+                    .connections_by_region
+                    .add(c.initiator.index() / region_block, 1);
+            }
+            timings.confined_proposals += resolution.confined_proposals;
+            timings.boundary_proposals += resolution.boundary_proposals;
 
             complete_nodes += transfer.newly_full;
             let formed = resolution.connections.len();
@@ -262,6 +355,14 @@ impl SyncScheduler {
                 });
             }
 
+            if probe.enabled() {
+                probe.record(&TraceEvent::Boundary {
+                    t: round as u64 * TICKS_PER_ROUND,
+                    round: round as u64,
+                    scope: BoundaryScope::Round,
+                });
+            }
+
             if complete_nodes == n {
                 result.completed = true;
                 result.rounds_to_completion = Some(round);
@@ -276,6 +377,96 @@ impl SyncScheduler {
             .map(|r| r as u64 * TICKS_PER_ROUND);
         (result, timings)
     }
+}
+
+/// Emit one synchronous round's connection-lifecycle events: every
+/// proposal in node order (each immediately followed by its `Drop` if it
+/// crossed a non-edge), every formed connection in resolution order, then
+/// a `Reject` for each proposer that ended the round unmatched (rebound
+/// included — a proposer that connected to *any* listener succeeded).
+/// Pure reads of already-resolved state: tracing cannot perturb the run.
+fn emit_round_events<G: GraphView + ?Sized>(
+    probe: &mut dyn Probe,
+    graph: &G,
+    intents: &[Intent],
+    resolution: &Resolution,
+    round: u64,
+) {
+    let t = round * TICKS_PER_ROUND;
+    for (u, intent) in intents.iter().enumerate() {
+        let Intent::Propose(v) = intent else { continue };
+        probe.record(&TraceEvent::Propose {
+            t,
+            round,
+            from: u as u32,
+            to: v.0,
+        });
+        if !graph.are_neighbors(NodeId(u as u32), *v) {
+            probe.record(&TraceEvent::Drop {
+                t,
+                round,
+                from: u as u32,
+                to: v.0,
+            });
+        }
+    }
+    let mut initiated = vec![false; intents.len()];
+    for c in &resolution.connections {
+        initiated[c.initiator.index()] = true;
+        probe.record(&TraceEvent::Connect {
+            t,
+            round,
+            initiator: c.initiator.0,
+            acceptor: c.acceptor.0,
+        });
+    }
+    for (u, intent) in intents.iter().enumerate() {
+        let Intent::Propose(v) = intent else { continue };
+        if !initiated[u] {
+            probe.record(&TraceEvent::Reject {
+                t,
+                round,
+                from: u as u32,
+                to: v.0,
+            });
+        }
+    }
+}
+
+/// The transfer phase under observation: the same per-pair unions as
+/// [`MessageMatrix::union_pairs_parallel`], run serially so each moved
+/// message emits in connection-then-ascending-message order. Identical
+/// totals — the pairs are node-disjoint, so processing order is
+/// irrelevant to the outcome.
+fn traced_transfer(
+    probe: &mut dyn Probe,
+    states: &mut MessageMatrix,
+    connections: &[Connection],
+    round: u64,
+) -> TransferStats {
+    let t = round * TICKS_PER_ROUND;
+    let mut total = TransferStats::default();
+    let mut moved: Vec<(u32, bool)> = Vec::new();
+    for c in connections {
+        moved.clear();
+        total +=
+            states.union_pair_stats_traced(c.initiator.index(), c.acceptor.index(), &mut moved);
+        for &(msg, forward) in &moved {
+            let (from, to) = if forward {
+                (c.initiator.0, c.acceptor.0)
+            } else {
+                (c.acceptor.0, c.initiator.0)
+            };
+            probe.record(&TraceEvent::Transfer {
+                t,
+                round,
+                from,
+                to,
+                msg,
+            });
+        }
+    }
+    total
 }
 
 /// One worker's advertise pass over its node range: refresh the tag of
@@ -407,15 +598,16 @@ impl Scheduler for SyncScheduler {
         "sync"
     }
 
-    fn run(
+    fn run_probed(
         &self,
         topology: &Topology,
         protocol: &dyn GossipProtocol,
         sources: &[NodeId],
         seed: u64,
         config: &SimConfig,
+        probe: &mut dyn Probe,
     ) -> SimResult {
-        self.run_with_timings(topology, protocol, sources, seed, config)
+        self.run_with_timings_probed(topology, protocol, sources, seed, config, probe)
             .0
     }
 
@@ -428,7 +620,7 @@ impl Scheduler for SyncScheduler {
     /// graph is frozen, so scan, intent, and matching stay coherent — and
     /// the sharded decide phase reads it concurrently exactly like the
     /// static engine, skipping dead nodes via the alive mask.
-    fn run_dynamic(
+    fn run_dynamic_probed(
         &self,
         topology: &Topology,
         dynamics: &dyn DynamicsModel,
@@ -436,6 +628,7 @@ impl Scheduler for SyncScheduler {
         sources: &[NodeId],
         seed: u64,
         config: &SimConfig,
+        probe: &mut dyn Probe,
     ) -> SimResult {
         let n = topology.num_nodes();
         let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
@@ -444,13 +637,16 @@ impl Scheduler for SyncScheduler {
             result.dynamics = Some(dynr.finish(SimTime::ZERO));
             return result;
         }
-
         let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
         let mut intents: Vec<Intent> = vec![Intent::Idle; n];
 
         for round in 1..=config.max_rounds {
             let horizon = SimTime(round as u64 * TICKS_PER_ROUND);
-            let mutated = dynr.drain_until(horizon, &mut states, sources);
+            let mutated = if probe.enabled() {
+                dynr.drain_until_probed(horizon, &mut states, sources, probe, round as u64)
+            } else {
+                dynr.drain_until(horizon, &mut states, sources)
+            };
             if mutated && dynr.complete() {
                 // Mutations alone completed gossip (the last uninformed
                 // node departed, or an informed one rejoined an already-
@@ -494,7 +690,12 @@ impl Scheduler for SyncScheduler {
                 MATCH_REGIONS,
                 self.threads,
             );
-            let transfer = states.union_pairs_parallel(&resolution.connections, self.threads);
+            let transfer = if probe.enabled() {
+                emit_round_events(probe, &dynr.topo, &intents, &resolution, round as u64);
+                traced_transfer(probe, &mut states, &resolution.connections, round as u64)
+            } else {
+                states.union_pairs_parallel(&resolution.connections, self.threads)
+            };
             dynr.alive_informed += transfer.newly_full;
             dynr.alive_messages += transfer.moved;
 
@@ -512,6 +713,14 @@ impl Scheduler for SyncScheduler {
                     productive: transfer.productive,
                     complete_nodes: dynr.alive_informed,
                     messages_held: dynr.alive_messages,
+                });
+            }
+
+            if probe.enabled() {
+                probe.record(&TraceEvent::Boundary {
+                    t: round as u64 * TICKS_PER_ROUND,
+                    round: round as u64,
+                    scope: BoundaryScope::Round,
                 });
             }
 

@@ -48,7 +48,7 @@
 //! read a start-of-slice advertisement snapshot; an event a sweep
 //! schedules *inside* the current slice executes in the next pass.
 
-use crate::dynamic::DynRun;
+use crate::dynamic::{mutate_event, DynRun};
 use crate::event_driven::{AsyncScheduler, EpochAccounting, Scheduled};
 use crate::scheduler::init_run;
 use crate::{SimConfig, SimResult};
@@ -63,6 +63,8 @@ use gossip_core::{
 };
 use gossip_dynamics::{DynamicsModel, MutationKind};
 use gossip_protocols::{GossipProtocol, NodeCtx};
+use gossip_telemetry::metrics::RegionLoad;
+use gossip_telemetry::{BoundaryScope, Probe, TraceEvent};
 
 /// Width of one virtual-time slice. One nominal act period: long enough
 /// that most act→attempt→finish chains stay inside a slice, short enough
@@ -73,6 +75,10 @@ pub const SLICE_TICKS: u64 = TICKS_PER_ROUND;
 /// thread count) so the event partition — and therefore every RNG draw —
 /// is identical no matter how many workers execute it.
 pub const EVENT_REGIONS: usize = 64;
+
+// The per-region load counters in `SliceTimings` are indexed by event
+// region; keep the fixed partition and the telemetry array in lockstep.
+const _: () = assert!(EVENT_REGIONS == gossip_telemetry::metrics::REGIONS);
 
 /// Per-pass region streams are `stream(seed, pass, REGION_STREAM_BASE + r)`.
 /// Offset by `2^33` to stay disjoint from the matching resolver's region
@@ -101,6 +107,10 @@ pub struct SliceTimings {
     pub events: u64,
     /// Slice passes taken.
     pub slices: u64,
+    /// Events popped per fixed region during the parallel phase (sweep
+    /// executions are serial and excluded) — the load-balance signal for
+    /// `bench`.
+    pub events_by_region: RegionLoad,
 }
 
 /// The one event vocabulary of the sliced engine; static runs carry
@@ -121,7 +131,12 @@ enum Ev {
     },
 }
 
-/// What a worker logs for the serial replay to account.
+/// What a worker logs for the serial replay to account. The first two
+/// variants carry the run's accounting and are always logged; the rest
+/// exist purely for tracing and are logged only when a probe is enabled,
+/// so the replay can emit the region phase's trace events in one
+/// deterministic global order without the workers ever touching the
+/// probe.
 #[derive(Clone, Copy, Debug)]
 enum EntryKind {
     /// A transfer completed: how many messages moved, and how many
@@ -129,7 +144,15 @@ enum EntryKind {
     Finish { moved: usize, newly_full: usize },
     /// An attempt was rejected (busy acceptor, or a vanished edge on
     /// dynamic runs).
-    Drop,
+    Drop { from: u32, to: u32 },
+    /// Trace-only: a node committed to proposing.
+    Propose { from: u32, to: u32 },
+    /// Trace-only: an in-region attempt was accepted.
+    Connect { initiator: u32, acceptor: u32 },
+    /// Trace-only: one message crossed a completed connection. Logged
+    /// *before* the connection's `Finish` entry so transfers replay
+    /// ahead of the completion check they might trigger.
+    Moved { from: u32, to: u32, msg: u32 },
 }
 
 /// One replay-log record, ordered by `(time, region)` at merge.
@@ -148,6 +171,7 @@ struct RegionScratch {
     deferred: Vec<Scheduled<Ev>>,
     log: Vec<Entry>,
     ad_scratch: Vec<Advertisement>,
+    moved_scratch: Vec<(u32, bool)>,
     events: u64,
     last_time: u64,
 }
@@ -162,6 +186,7 @@ impl RegionScratch {
             deferred: Vec::new(),
             log: Vec::new(),
             ad_scratch: Vec::new(),
+            moved_scratch: Vec::new(),
             events: 0,
             last_time: 0,
         }
@@ -204,6 +229,9 @@ struct SliceCtx<'a, G: GraphView + Sync + ?Sized> {
     /// Dynamic runs skip the static-graph neighbor assertion — there an
     /// edge may legitimately vanish while a proposal is in flight.
     dynamic: bool,
+    /// Hoisted `probe.enabled()`: workers log the trace-only entry kinds
+    /// (and itemize transfers) only when a probe will consume them.
+    tracing: bool,
 }
 
 /// The disjoint mutable state a worker owns for one region: its scratch,
@@ -291,6 +319,12 @@ fn run_region<G: GraphView + Sync + ?Sized>(ctx: &SliceCtx<'_, G>, task: &mut Re
                             }
                             Intent::Propose(v) => {
                                 task.matcher.propose(u);
+                                if ctx.tracing {
+                                    task.scratch.log.push(Entry {
+                                        time: now.ticks(),
+                                        kind: EntryKind::Propose { from: u.0, to: v.0 },
+                                    });
+                                }
                                 let delay = ctx.timing.latency(&mut rng);
                                 task.scratch.push(
                                     now.after(delay),
@@ -324,6 +358,15 @@ fn run_region<G: GraphView + Sync + ?Sized>(ctx: &SliceCtx<'_, G>, task: &mut Re
                     );
                 }
                 if task.matcher.try_connect(ctx.graph, from, to) {
+                    if ctx.tracing {
+                        task.scratch.log.push(Entry {
+                            time: now.ticks(),
+                            kind: EntryKind::Connect {
+                                initiator: from.0,
+                                acceptor: to.0,
+                            },
+                        });
+                    }
                     task.partner[from.index() - base] = Some((to, true));
                     task.partner[to.index() - base] = Some((from, false));
                     let delay = ctx.timing.latency(&mut rng);
@@ -340,7 +383,10 @@ fn run_region<G: GraphView + Sync + ?Sized>(ctx: &SliceCtx<'_, G>, task: &mut Re
                     task.matcher.cancel(from);
                     task.scratch.log.push(Entry {
                         time: now.ticks(),
-                        kind: EntryKind::Drop,
+                        kind: EntryKind::Drop {
+                            from: from.0,
+                            to: to.0,
+                        },
                     });
                     let delay = ctx
                         .timing
@@ -364,7 +410,30 @@ fn run_region<G: GraphView + Sync + ?Sized>(ctx: &SliceCtx<'_, G>, task: &mut Re
                 }
                 task.scratch.note(now);
                 let (i, j) = (initiator.index(), acceptor.index());
-                let stats = task.states.union_pair_stats(i, j);
+                let stats = if ctx.tracing {
+                    // Itemize the moved messages (same union, same
+                    // totals) so the replay can emit per-message
+                    // `Transfer` events ahead of this `Finish`.
+                    let scratch = &mut *task.scratch;
+                    scratch.moved_scratch.clear();
+                    let stats =
+                        task.states
+                            .union_pair_stats_traced(i, j, &mut scratch.moved_scratch);
+                    for &(msg, forward) in scratch.moved_scratch.iter() {
+                        let (from, to) = if forward {
+                            (initiator.0, acceptor.0)
+                        } else {
+                            (acceptor.0, initiator.0)
+                        };
+                        scratch.log.push(Entry {
+                            time: now.ticks(),
+                            kind: EntryKind::Moved { from, to, msg },
+                        });
+                    }
+                    stats
+                } else {
+                    task.states.union_pair_stats(i, j)
+                };
                 task.scratch.log.push(Entry {
                     time: now.ticks(),
                     kind: EntryKind::Finish {
@@ -437,6 +506,12 @@ fn execute_slice<G: GraphView + Sync + ?Sized>(
 
 /// The sliced engine for a frozen topology. Byte-identical to itself at
 /// any `threads`; see the module docs for the determinism argument.
+///
+/// Tracing rides the replay: workers log trace-only entries into their
+/// region logs (never touching the probe or any RNG), and the serial
+/// phases — the `(time, region)` merge replay and the boundary sweep —
+/// are the only places `probe.record` is called, so the emitted stream
+/// is one deterministic global order at any thread count.
 pub(crate) fn run_sliced(
     sched: &AsyncScheduler,
     topology: &Topology,
@@ -444,6 +519,7 @@ pub(crate) fn run_sliced(
     sources: &[NodeId],
     seed: u64,
     config: &SimConfig,
+    probe: &mut dyn Probe,
 ) -> (SimResult, SliceTimings) {
     sched
         .timing
@@ -495,6 +571,8 @@ pub(crate) fn run_sliced(
     let mut sweep_events: u64 = 0;
     let mut last_time: u64 = 0;
     let mut prev_pass: Option<u64> = None;
+    let tracing = probe.enabled();
+    let mut sweep_moved: Vec<(u32, bool)> = Vec::new();
     let now_ticks: u64;
 
     'run: loop {
@@ -518,6 +596,13 @@ pub(crate) fn run_sliced(
         timings.slices += 1;
         let slice_end = (pass + 1).saturating_mul(SLICE_TICKS);
         let end = slice_end.min(max_time.saturating_add(1));
+        if tracing {
+            probe.record(&TraceEvent::Boundary {
+                t: pass.saturating_mul(SLICE_TICKS),
+                round: pass,
+                scope: BoundaryScope::Slice,
+            });
+        }
 
         // Phase A: parallel region execution against a start-of-slice
         // advertisement snapshot.
@@ -536,6 +621,7 @@ pub(crate) fn run_sliced(
                 end,
                 block,
                 dynamic: false,
+                tracing,
             };
             execute_slice(
                 &ctx,
@@ -561,12 +647,50 @@ pub(crate) fn run_sliced(
         // on time alone keeps region order as the tie-break.
         merged.sort_by_key(|e| e.time);
         for e in merged.iter() {
-            if let Some(history) = &mut result.rounds {
-                let row = SimTime(e.time).round_equivalent().max(1);
-                epochs.flush_rows_below(history, row, complete_nodes, messages_held);
-            }
+            let round = SimTime(e.time).round_equivalent() as u64;
             match e.kind {
+                EntryKind::Propose { from, to } => probe.record(&TraceEvent::Propose {
+                    t: e.time,
+                    round,
+                    from,
+                    to,
+                }),
+                EntryKind::Connect {
+                    initiator,
+                    acceptor,
+                } => probe.record(&TraceEvent::Connect {
+                    t: e.time,
+                    round,
+                    initiator,
+                    acceptor,
+                }),
+                EntryKind::Moved { from, to, msg } => probe.record(&TraceEvent::Transfer {
+                    t: e.time,
+                    round,
+                    from,
+                    to,
+                    msg,
+                }),
+                EntryKind::Drop { from, to } => {
+                    if let Some(history) = &mut result.rounds {
+                        let row = SimTime(e.time).round_equivalent().max(1);
+                        epochs.flush_rows_below(history, row, complete_nodes, messages_held);
+                    }
+                    result.dropped_proposals += 1;
+                    if tracing {
+                        probe.record(&TraceEvent::Reject {
+                            t: e.time,
+                            round,
+                            from,
+                            to,
+                        });
+                    }
+                }
                 EntryKind::Finish { moved, newly_full } => {
+                    if let Some(history) = &mut result.rounds {
+                        let row = SimTime(e.time).round_equivalent().max(1);
+                        epochs.flush_rows_below(history, row, complete_nodes, messages_held);
+                    }
                     complete_nodes += newly_full;
                     messages_held += moved;
                     result.total_connections += 1;
@@ -586,7 +710,6 @@ pub(crate) fn run_sliced(
                         break 'run;
                     }
                 }
-                EntryKind::Drop => result.dropped_proposals += 1,
             }
         }
         timings.merge += t1.elapsed();
@@ -615,6 +738,14 @@ pub(crate) fn run_sliced(
                         "protocol proposed {from} -> {to} across a non-edge"
                     );
                     if matcher.try_connect(topology, from, to) {
+                        if tracing {
+                            probe.record(&TraceEvent::Connect {
+                                t: now.ticks(),
+                                round: now.round_equivalent() as u64,
+                                initiator: from.0,
+                                acceptor: to.0,
+                            });
+                        }
                         partner[from.index()] = Some((to, true));
                         partner[to.index()] = Some((from, false));
                         let delay = sched.timing.latency(&mut rng_sweep);
@@ -630,6 +761,14 @@ pub(crate) fn run_sliced(
                     } else {
                         matcher.cancel(from);
                         result.dropped_proposals += 1;
+                        if tracing {
+                            probe.record(&TraceEvent::Reject {
+                                t: now.ticks(),
+                                round: now.round_equivalent() as u64,
+                                from: from.0,
+                                to: to.0,
+                            });
+                        }
                         let delay = sched
                             .timing
                             .refresh_interval(drift[from.index()], &mut rng_sweep);
@@ -643,7 +782,28 @@ pub(crate) fn run_sliced(
                     ..
                 } => {
                     let (i, j) = (initiator.index(), acceptor.index());
-                    let stats = states.union_pair_stats(i, j);
+                    let stats = if tracing {
+                        sweep_moved.clear();
+                        let stats = states.union_pair_stats_traced(i, j, &mut sweep_moved);
+                        let round = now.round_equivalent() as u64;
+                        for &(msg, forward) in sweep_moved.iter() {
+                            let (from, to) = if forward {
+                                (initiator.0, acceptor.0)
+                            } else {
+                                (acceptor.0, initiator.0)
+                            };
+                            probe.record(&TraceEvent::Transfer {
+                                t: now.ticks(),
+                                round,
+                                from,
+                                to,
+                                msg,
+                            });
+                        }
+                        stats
+                    } else {
+                        states.union_pair_stats(i, j)
+                    };
                     complete_nodes += stats.newly_full;
                     messages_held += stats.moved;
                     result.total_connections += 1;
@@ -688,6 +848,9 @@ pub(crate) fn run_sliced(
         );
     }
     timings.events = scratches.iter().map(|s| s.events).sum::<u64>() + sweep_events;
+    for (r, s) in scratches.iter().enumerate() {
+        timings.events_by_region.add(r, s.events);
+    }
     (result, timings)
 }
 
@@ -695,6 +858,9 @@ pub(crate) fn run_sliced(
 /// at slice starts (the analogue of the sync scheduler's round-boundary
 /// semantics); the event phases are identical to [`run_sliced`] with the
 /// active graph and generation-stamp checks in play.
+// Mirrors `Scheduler::run_dynamic_probed` — the argument list is the
+// determinism contract.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_dynamic_sliced(
     sched: &AsyncScheduler,
     topology: &Topology,
@@ -703,6 +869,7 @@ pub(crate) fn run_dynamic_sliced(
     sources: &[NodeId],
     seed: u64,
     config: &SimConfig,
+    probe: &mut dyn Probe,
 ) -> (SimResult, SliceTimings) {
     sched
         .timing
@@ -750,6 +917,8 @@ pub(crate) fn run_dynamic_sliced(
     let mut sweep_events: u64 = 0;
     let mut last_time: u64 = 0;
     let mut prev_pass: Option<u64> = None;
+    let tracing = probe.enabled();
+    let mut sweep_moved: Vec<(u32, bool)> = Vec::new();
     let now_ticks: u64;
 
     'run: loop {
@@ -773,6 +942,13 @@ pub(crate) fn run_dynamic_sliced(
         timings.slices += 1;
         let slice_end = (pass + 1).saturating_mul(SLICE_TICKS);
         let end = slice_end.min(max_time.saturating_add(1));
+        if tracing {
+            probe.record(&TraceEvent::Boundary {
+                t: pass.saturating_mul(SLICE_TICKS),
+                round: pass,
+                scope: BoundaryScope::Slice,
+            });
+        }
 
         // Phase 0 (serial): apply every mutation due inside this slice
         // before any of its events execute, so deaths precede the
@@ -797,6 +973,14 @@ pub(crate) fn run_dynamic_sliced(
                             partner[u.index()] = None;
                             partner[v.index()] = None;
                             dynr.stats.severed_connections += 1;
+                            if tracing {
+                                probe.record(&TraceEvent::Sever {
+                                    t: mtime.ticks(),
+                                    round: mtime.round_equivalent() as u64,
+                                    a: u.0,
+                                    b: v.0,
+                                });
+                            }
                             if !u_initiated {
                                 // The survivor initiated: its act chain
                                 // was parked on the Finish event dying
@@ -813,6 +997,9 @@ pub(crate) fn run_dynamic_sliced(
                 }
             }
             let applied = dynr.apply(&mutation, &mut states, sources);
+            if applied && tracing {
+                probe.record(&mutate_event(&mutation, mtime.round_equivalent() as u64));
+            }
             if applied {
                 if let MutationKind::Rejoin { node, .. } = mutation.kind {
                     // The revived node starts a fresh act chain.
@@ -852,6 +1039,7 @@ pub(crate) fn run_dynamic_sliced(
                 end,
                 block,
                 dynamic: true,
+                tracing,
             };
             execute_slice(
                 &ctx,
@@ -877,12 +1065,60 @@ pub(crate) fn run_dynamic_sliced(
         }
         merged.sort_by_key(|e| e.time);
         for e in merged.iter() {
-            if let Some(history) = &mut result.rounds {
-                let row = SimTime(e.time).round_equivalent().max(1);
-                epochs.flush_rows_below(history, row, dynr.alive_informed, dynr.alive_messages);
-            }
+            let round = SimTime(e.time).round_equivalent() as u64;
             match e.kind {
+                EntryKind::Propose { from, to } => probe.record(&TraceEvent::Propose {
+                    t: e.time,
+                    round,
+                    from,
+                    to,
+                }),
+                EntryKind::Connect {
+                    initiator,
+                    acceptor,
+                } => probe.record(&TraceEvent::Connect {
+                    t: e.time,
+                    round,
+                    initiator,
+                    acceptor,
+                }),
+                EntryKind::Moved { from, to, msg } => probe.record(&TraceEvent::Transfer {
+                    t: e.time,
+                    round,
+                    from,
+                    to,
+                    msg,
+                }),
+                EntryKind::Drop { from, to } => {
+                    if let Some(history) = &mut result.rounds {
+                        let row = SimTime(e.time).round_equivalent().max(1);
+                        epochs.flush_rows_below(
+                            history,
+                            row,
+                            dynr.alive_informed,
+                            dynr.alive_messages,
+                        );
+                    }
+                    result.dropped_proposals += 1;
+                    if tracing {
+                        probe.record(&TraceEvent::Reject {
+                            t: e.time,
+                            round,
+                            from,
+                            to,
+                        });
+                    }
+                }
                 EntryKind::Finish { moved, newly_full } => {
+                    if let Some(history) = &mut result.rounds {
+                        let row = SimTime(e.time).round_equivalent().max(1);
+                        epochs.flush_rows_below(
+                            history,
+                            row,
+                            dynr.alive_informed,
+                            dynr.alive_messages,
+                        );
+                    }
                     dynr.alive_informed += newly_full;
                     dynr.alive_messages += moved;
                     result.total_connections += 1;
@@ -903,7 +1139,6 @@ pub(crate) fn run_dynamic_sliced(
                         break 'run;
                     }
                 }
-                EntryKind::Drop => result.dropped_proposals += 1,
             }
         }
         timings.merge += t1.elapsed();
@@ -929,6 +1164,14 @@ pub(crate) fn run_dynamic_sliced(
             match ev.event {
                 Ev::Attempt { from, to, gen } => {
                     if matcher.try_connect(&dynr.topo, from, to) {
+                        if tracing {
+                            probe.record(&TraceEvent::Connect {
+                                t: now.ticks(),
+                                round: now.round_equivalent() as u64,
+                                initiator: from.0,
+                                acceptor: to.0,
+                            });
+                        }
                         partner[from.index()] = Some((to, true));
                         partner[to.index()] = Some((from, false));
                         let delay = sched.timing.latency(&mut rng_sweep);
@@ -944,6 +1187,14 @@ pub(crate) fn run_dynamic_sliced(
                     } else {
                         matcher.cancel(from);
                         result.dropped_proposals += 1;
+                        if tracing {
+                            probe.record(&TraceEvent::Reject {
+                                t: now.ticks(),
+                                round: now.round_equivalent() as u64,
+                                from: from.0,
+                                to: to.0,
+                            });
+                        }
                         let delay = sched
                             .timing
                             .refresh_interval(drift[from.index()], &mut rng_sweep);
@@ -957,7 +1208,28 @@ pub(crate) fn run_dynamic_sliced(
                     ..
                 } => {
                     let (i, j) = (initiator.index(), acceptor.index());
-                    let stats = states.union_pair_stats(i, j);
+                    let stats = if tracing {
+                        sweep_moved.clear();
+                        let stats = states.union_pair_stats_traced(i, j, &mut sweep_moved);
+                        let round = now.round_equivalent() as u64;
+                        for &(msg, forward) in sweep_moved.iter() {
+                            let (from, to) = if forward {
+                                (initiator.0, acceptor.0)
+                            } else {
+                                (acceptor.0, initiator.0)
+                            };
+                            probe.record(&TraceEvent::Transfer {
+                                t: now.ticks(),
+                                round,
+                                from,
+                                to,
+                                msg,
+                            });
+                        }
+                        stats
+                    } else {
+                        states.union_pair_stats(i, j)
+                    };
                     dynr.alive_informed += stats.newly_full;
                     dynr.alive_messages += stats.moved;
                     result.total_connections += 1;
@@ -1004,5 +1276,8 @@ pub(crate) fn run_dynamic_sliced(
     }
     result.dynamics = Some(dynr.finish(SimTime(result.virtual_time)));
     timings.events = scratches.iter().map(|s| s.events).sum::<u64>() + sweep_events;
+    for (r, s) in scratches.iter().enumerate() {
+        timings.events_by_region.add(r, s.events);
+    }
     (result, timings)
 }

@@ -1,0 +1,468 @@
+//! The offline `analyze` stage: turn emitted run/sweep JSONL lines and
+//! trace files into summary statistics — rounds-to-completion
+//! distributions with percentiles, advert-vs-uniform speedup tables,
+//! dissemination-depth stats from the infection DAG, and per-region
+//! balance summaries.
+//!
+//! Input is line-oriented and self-describing: a line with `"schema"` and
+//! `"scenario_id"` is a run line, one with `"trace_schema"` opens a trace
+//! stream, one with `"ev"` is a trace event of the currently open stream.
+//! Anything else (CSV headers, blank lines) is counted and skipped, so
+//! `analyze` accepts whole output directories without ceremony.
+
+use crate::json::{parse, Value};
+use crate::metrics::{regions_for, LoadSummary, RegionLoad};
+
+/// One run line's distilled facts.
+#[derive(Clone, Debug)]
+struct RunRow {
+    /// `scenario_id` with the seed suffix stripped — the sweep group.
+    group: String,
+    protocol: String,
+    rounds: Option<u64>,
+}
+
+/// Accumulator for the trace stream currently being read.
+#[derive(Debug)]
+struct TraceAccum {
+    scenario_id: String,
+    nodes: usize,
+    messages: usize,
+    /// Infection depth per `(message, node)`; `u32::MAX` = not reached.
+    /// The first node seen *sending* a message is its source (depth 0).
+    depth: Vec<u32>,
+    counts: EventCounts,
+    connects: RegionLoad,
+    transfers: RegionLoad,
+    block: usize,
+}
+
+/// Tallies of each trace event kind.
+#[derive(Clone, Copy, Debug, Default)]
+struct EventCounts {
+    propose: u64,
+    connect: u64,
+    reject: u64,
+    drop: u64,
+    transfer: u64,
+    sever: u64,
+    mutate: u64,
+    boundary: u64,
+    other: u64,
+}
+
+impl EventCounts {
+    fn total(&self) -> u64 {
+        self.propose
+            + self.connect
+            + self.reject
+            + self.drop
+            + self.transfer
+            + self.sever
+            + self.mutate
+            + self.boundary
+            + self.other
+    }
+}
+
+/// One finished trace stream's summary.
+#[derive(Debug)]
+struct TraceStats {
+    scenario_id: String,
+    counts: EventCounts,
+    /// `(message, node)` pairs reached (sources included) out of
+    /// `messages × nodes`.
+    reached: usize,
+    universe: usize,
+    depth_max: u32,
+    /// Mean infection depth over reached non-source pairs.
+    depth_mean: f64,
+    connects: LoadSummary,
+    transfers: LoadSummary,
+}
+
+/// Streaming consumer of analyze input; feed lines, then render the
+/// report with [`report`](Self::report).
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    runs: Vec<RunRow>,
+    traces: Vec<TraceStats>,
+    current: Option<TraceAccum>,
+    skipped: u64,
+}
+
+/// Strip the trailing `-s<seed>` component a sweep appends to each cell's
+/// `scenario_id`, yielding the sweep-group key.
+fn strip_seed(scenario_id: &str) -> String {
+    if let Some(idx) = scenario_id.rfind("-s") {
+        let tail = &scenario_id[idx + 2..];
+        if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) {
+            return scenario_id[..idx].to_string();
+        }
+    }
+    scenario_id.to_string()
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl Analyzer {
+    /// Consume one input line, classifying it by shape.
+    pub fn add_line(&mut self, line: &str) {
+        let line = line.trim();
+        if line.is_empty() {
+            return;
+        }
+        let Ok(v) = parse(line) else {
+            self.skipped += 1;
+            return;
+        };
+        if v.get("trace_schema").is_some() {
+            self.finish_trace();
+            let nodes = v.get("nodes").and_then(Value::as_u64).unwrap_or(0) as usize;
+            let messages = v.get("messages").and_then(Value::as_u64).unwrap_or(1) as usize;
+            self.current = Some(TraceAccum {
+                scenario_id: v
+                    .get("scenario_id")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                nodes,
+                messages,
+                depth: vec![u32::MAX; nodes.saturating_mul(messages)],
+                counts: EventCounts::default(),
+                connects: RegionLoad::default(),
+                transfers: RegionLoad::default(),
+                block: nodes.div_ceil(crate::metrics::REGIONS).max(1),
+            });
+            return;
+        }
+        if let Some(ev) = v.get("ev").and_then(Value::as_str) {
+            let Some(accum) = self.current.as_mut() else {
+                self.skipped += 1; // event before any header
+                return;
+            };
+            accum.observe(ev, &v);
+            return;
+        }
+        if v.get("schema").is_some() && v.get("scenario_id").is_some() {
+            let scenario_id = v
+                .get("scenario_id")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string();
+            self.runs.push(RunRow {
+                group: strip_seed(&scenario_id),
+                protocol: v
+                    .get("protocol")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                rounds: v.get("rounds_to_completion").and_then(Value::as_u64),
+            });
+            return;
+        }
+        self.skipped += 1;
+    }
+
+    fn finish_trace(&mut self) {
+        if let Some(accum) = self.current.take() {
+            self.traces.push(accum.finish());
+        }
+    }
+
+    /// Render the full report. Sections appear only when their inputs do.
+    pub fn report(mut self) -> String {
+        self.finish_trace();
+        let mut out = String::new();
+
+        // Rounds-to-completion distributions, one row per sweep group.
+        let mut groups: Vec<String> = self.runs.iter().map(|r| r.group.clone()).collect();
+        groups.sort();
+        groups.dedup();
+        if !groups.is_empty() {
+            let width = groups.iter().map(|g| g.len()).max().unwrap().max(8);
+            out.push_str("rounds to completion\n");
+            out.push_str(&format!(
+                "  {:width$}  {:>5} {:>5} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}\n",
+                "scenario", "runs", "done", "min", "p50", "p90", "p99", "max", "mean"
+            ));
+            for group in &groups {
+                let rows: Vec<&RunRow> = self.runs.iter().filter(|r| &r.group == group).collect();
+                let mut done: Vec<u64> = rows.iter().filter_map(|r| r.rounds).collect();
+                done.sort_unstable();
+                if done.is_empty() {
+                    out.push_str(&format!(
+                        "  {:width$}  {:>5} {:>5}  (no completed runs)\n",
+                        group,
+                        rows.len(),
+                        0
+                    ));
+                    continue;
+                }
+                let mean = done.iter().sum::<u64>() as f64 / done.len() as f64;
+                out.push_str(&format!(
+                    "  {:width$}  {:>5} {:>5} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9.1}\n",
+                    group,
+                    rows.len(),
+                    done.len(),
+                    done[0],
+                    percentile(&done, 0.5),
+                    percentile(&done, 0.9),
+                    percentile(&done, 0.99),
+                    done[done.len() - 1],
+                    mean,
+                ));
+            }
+        }
+
+        // Advert-vs-uniform speedups: pair groups identical but for the
+        // protocol token.
+        let mut pairs: Vec<(String, Vec<u64>, Vec<u64>)> = Vec::new();
+        for group in &groups {
+            let rows: Vec<&RunRow> = self.runs.iter().filter(|r| &r.group == group).collect();
+            let protocol = rows.first().map(|r| r.protocol.clone()).unwrap_or_default();
+            if protocol != "advert" {
+                continue;
+            }
+            let key = group.replacen("-advert-", "-*-", 1);
+            let mut advert: Vec<u64> = rows.iter().filter_map(|r| r.rounds).collect();
+            let mut uniform: Vec<u64> = self
+                .runs
+                .iter()
+                .filter(|r| {
+                    r.protocol == "uniform" && r.group.replacen("-uniform-", "-*-", 1) == key
+                })
+                .filter_map(|r| r.rounds)
+                .collect();
+            advert.sort_unstable();
+            uniform.sort_unstable();
+            if !advert.is_empty() && !uniform.is_empty() {
+                pairs.push((key, advert, uniform));
+            }
+        }
+        if !pairs.is_empty() {
+            let width = pairs.iter().map(|(k, ..)| k.len()).max().unwrap().max(8);
+            out.push_str("\nadvert vs uniform speedup (completed rounds)\n");
+            out.push_str(&format!(
+                "  {:width$}  {:>10} {:>11} {:>11} {:>12}\n",
+                "scenario", "advert_p50", "uniform_p50", "speedup_p50", "speedup_mean"
+            ));
+            for (key, advert, uniform) in &pairs {
+                let (ap50, up50) = (percentile(advert, 0.5), percentile(uniform, 0.5));
+                let amean = advert.iter().sum::<u64>() as f64 / advert.len() as f64;
+                let umean = uniform.iter().sum::<u64>() as f64 / uniform.len() as f64;
+                out.push_str(&format!(
+                    "  {:width$}  {:>10} {:>11} {:>10.2}x {:>11.2}x\n",
+                    key,
+                    ap50,
+                    up50,
+                    up50 as f64 / ap50 as f64,
+                    umean / amean,
+                ));
+            }
+        }
+
+        // Per-trace sections.
+        for t in &self.traces {
+            let c = &t.counts;
+            out.push_str(&format!("\ntrace {}\n", t.scenario_id));
+            out.push_str(&format!(
+                "  events {} (propose {}, connect {}, reject {}, drop {}, transfer {}, sever {}, mutate {}, boundary {})\n",
+                c.total(), c.propose, c.connect, c.reject, c.drop, c.transfer, c.sever, c.mutate, c.boundary
+            ));
+            out.push_str(&format!(
+                "  dissemination depth: reached {}/{} node-messages, max depth {}, mean depth {:.1}\n",
+                t.reached, t.universe, t.depth_max, t.depth_mean
+            ));
+            let (cn, tr) = (&t.connects, &t.transfers);
+            out.push_str(&format!(
+                "  region balance ({} regions): connects min {} mean {:.1} max {} imbalance {:.2}; transfers min {} mean {:.1} max {} imbalance {:.2}\n",
+                cn.regions, cn.min, cn.mean, cn.max, cn.imbalance, tr.min, tr.mean, tr.max, tr.imbalance
+            ));
+        }
+
+        if self.skipped > 0 {
+            out.push_str(&format!("\nskipped {} unparsable lines\n", self.skipped));
+        }
+        if out.is_empty() {
+            out.push_str("no run lines or trace streams found in input\n");
+        }
+        out
+    }
+}
+
+impl TraceAccum {
+    fn observe(&mut self, ev: &str, v: &Value) {
+        match ev {
+            "propose" => self.counts.propose += 1,
+            "connect" => {
+                self.counts.connect += 1;
+                if let Some(i) = v.get("initiator").and_then(Value::as_u64) {
+                    let region = (i as usize / self.block).min(crate::metrics::REGIONS - 1);
+                    self.connects.add(region, 1);
+                }
+            }
+            "reject" => self.counts.reject += 1,
+            "drop" => self.counts.drop += 1,
+            "transfer" => {
+                self.counts.transfer += 1;
+                let from = v.get("from").and_then(Value::as_u64);
+                let to = v.get("to").and_then(Value::as_u64);
+                let msg = v.get("msg").and_then(Value::as_u64).unwrap_or(0) as usize;
+                if let (Some(from), Some(to)) = (from, to) {
+                    let region = (from as usize / self.block).min(crate::metrics::REGIONS - 1);
+                    self.transfers.add(region, 1);
+                    let (from, to) = (from as usize, to as usize);
+                    if from < self.nodes && to < self.nodes && msg < self.messages {
+                        let fi = msg * self.nodes + from;
+                        let ti = msg * self.nodes + to;
+                        // First sighting of a sender for this message:
+                        // that is the message's source (or the frontier of
+                        // a stream that started mid-run) — depth 0.
+                        if self.depth[fi] == u32::MAX {
+                            self.depth[fi] = 0;
+                        }
+                        if self.depth[ti] == u32::MAX {
+                            self.depth[ti] = self.depth[fi] + 1;
+                        }
+                    }
+                }
+            }
+            "sever" => self.counts.sever += 1,
+            "mutate" => self.counts.mutate += 1,
+            "boundary" => self.counts.boundary += 1,
+            _ => self.counts.other += 1,
+        }
+    }
+
+    fn finish(self) -> TraceStats {
+        let mut reached = 0usize;
+        let mut depth_max = 0u32;
+        let mut depth_sum = 0u64;
+        let mut depth_n = 0u64;
+        for &d in &self.depth {
+            if d == u32::MAX {
+                continue;
+            }
+            reached += 1;
+            depth_max = depth_max.max(d);
+            if d > 0 {
+                depth_sum += d as u64;
+                depth_n += 1;
+            }
+        }
+        let regions = regions_for(self.nodes);
+        TraceStats {
+            scenario_id: self.scenario_id,
+            counts: self.counts,
+            reached,
+            universe: self.depth.len(),
+            depth_max,
+            depth_mean: if depth_n == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / depth_n as f64
+            },
+            connects: self.connects.summary(regions),
+            transfers: self.transfers.summary(regions),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(group: &str, protocol: &str, seed: u64, rounds: Option<u64>) -> String {
+        let rounds = rounds.map_or("null".to_string(), |r| r.to_string());
+        format!(
+            "{{\"schema\":1,\"scenario_id\":\"{group}-s{seed}\",\"protocol\":\"{protocol}\",\"completed\":true,\"rounds_to_completion\":{rounds}}}"
+        )
+    }
+
+    #[test]
+    fn seed_suffix_stripping_is_conservative() {
+        assert_eq!(
+            strip_seed("ring-advert-sync-n1000-k1-s42"),
+            "ring-advert-sync-n1000-k1"
+        );
+        assert_eq!(strip_seed("ring-advert-sync"), "ring-advert-sync");
+        assert_eq!(strip_seed("grid-s12abc"), "grid-s12abc");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&v, 0.5), 5);
+        assert_eq!(percentile(&v, 0.9), 9);
+        assert_eq!(percentile(&v, 0.99), 10);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn report_groups_runs_and_computes_speedup() {
+        let mut a = Analyzer::default();
+        for (seed, rounds) in [(1, 500), (2, 520), (3, 480)] {
+            a.add_line(&run_line(
+                "ring-advert-sync-n1000-k1",
+                "advert",
+                seed,
+                Some(rounds),
+            ));
+        }
+        for (seed, rounds) in [(1, 1600), (2, 1700), (3, 1500)] {
+            a.add_line(&run_line(
+                "ring-uniform-sync-n1000-k1",
+                "uniform",
+                seed,
+                Some(rounds),
+            ));
+        }
+        a.add_line("not json at all");
+        let report = a.report();
+        assert!(report.contains("rounds to completion"), "{report}");
+        assert!(report.contains("ring-advert-sync-n1000-k1"), "{report}");
+        assert!(report.contains("p50"), "{report}");
+        assert!(report.contains("advert vs uniform speedup"), "{report}");
+        // p50: advert 500, uniform 1600 → 3.20x.
+        assert!(report.contains("3.20x"), "{report}");
+        assert!(report.contains("skipped 1 unparsable lines"), "{report}");
+    }
+
+    #[test]
+    fn trace_depth_follows_the_infection_dag() {
+        let mut a = Analyzer::default();
+        a.add_line(r#"{"trace_schema":1,"scenario_id":"tiny","nodes":4,"messages":1,"seed":0}"#);
+        // 0 -> 1 -> 2, and 1 -> 3: depths 0,1,2,2.
+        a.add_line(r#"{"ev":"connect","t":1,"round":1,"initiator":0,"acceptor":1}"#);
+        a.add_line(r#"{"ev":"transfer","t":1,"round":1,"from":0,"to":1,"msg":0}"#);
+        a.add_line(r#"{"ev":"transfer","t":2,"round":1,"from":1,"to":2,"msg":0}"#);
+        a.add_line(r#"{"ev":"transfer","t":3,"round":1,"from":1,"to":3,"msg":0}"#);
+        let report = a.report();
+        assert!(
+            report.contains("reached 4/4 node-messages, max depth 2"),
+            "{report}"
+        );
+        // Mean over non-source reached pairs: (1 + 2 + 2) / 3.
+        assert!(report.contains("mean depth 1.7"), "{report}");
+        assert!(report.contains("region balance"), "{report}");
+    }
+
+    #[test]
+    fn incomplete_groups_render_without_percentiles() {
+        let mut a = Analyzer::default();
+        a.add_line(&run_line("line-advert-sync-n9-k1", "advert", 1, None));
+        let report = a.report();
+        assert!(report.contains("(no completed runs)"), "{report}");
+    }
+
+    #[test]
+    fn empty_input_says_so() {
+        assert!(Analyzer::default().report().contains("no run lines"));
+    }
+}

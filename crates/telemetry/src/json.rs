@@ -1,0 +1,299 @@
+//! Minimal JSON: string escaping and float formatting for emission, and a
+//! tolerant recursive-descent parser for the `analyze` stage's readback of
+//! run lines and trace files. Hand-rolled because the workspace is
+//! dependency-free by design; tolerant because `analyze` must skip
+//! non-JSON lines (CSV output, blank lines) rather than abort a report.
+
+/// Escape `s` as a JSON string literal, quotes included.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float the way the emitters do: integral values without a
+/// trailing `.0` would parse back as integers, so keep Rust's shortest
+/// round-trip form but pin NaN/infinity to null (JSON has no spelling for
+/// them).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A parsed JSON value. Objects preserve key order; numbers are `f64`
+/// (every quantity the emitters write fits exactly).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Trailing garbage after the document is an
+/// error; surrounding whitespace is fine.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Value::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+            *pos += 1;
+        }
+        out.push_str(
+            std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid utf-8".to_string())?,
+        );
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| "invalid \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "invalid \\u escape".to_string())?;
+                        *pos += 4;
+                        // Surrogate pairs are not worth the code here: the
+                        // emitters never write them. Map lone surrogates
+                        // to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("invalid escape `\\{}`", *other as char)),
+                }
+            }
+            Some(_) => unreachable!("scan stopped on quote or backslash"),
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid number".to_string())?;
+    text.parse::<f64>()
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_run_line_shape() {
+        let line = r#"{"schema":1,"scenario_id":"ring-advert","completed":true,"rounds_to_completion":500,"dynamics":null,"history":[1,2.5,-3e2]}"#;
+        let v = parse(line).expect("parses");
+        assert_eq!(v.get("schema").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("scenario_id").and_then(Value::as_str),
+            Some("ring-advert")
+        );
+        assert_eq!(v.get("completed").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.get("rounds_to_completion").and_then(Value::as_u64),
+            Some(500)
+        );
+        assert_eq!(v.get("dynamics"), Some(&Value::Null));
+        let Some(Value::Arr(items)) = v.get("history") else {
+            panic!("history must be an array");
+        };
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_f64(), Some(-300.0));
+        assert_eq!(items[2].as_u64(), None, "negative is not u64");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a\"b\\c\nd\te\u{1}";
+        let encoded = json_str(original);
+        let decoded = parse(&encoded).expect("parses");
+        assert_eq!(decoded.as_str(), Some(original));
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn fmt_f64_pins_integral_and_non_finite_forms() {
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+}
