@@ -37,15 +37,44 @@ pub enum Command {
     /// documented expansion order).
     Grid {
         scenarios: Vec<Scenario>,
-        /// `--progress`: per-run heartbeat on stderr (cell i/N, elapsed,
-        /// ETA). Never touches stdout.
+        /// `--progress`: per-cell heartbeat on stderr (done/total,
+        /// running and stolen counts, running-mean ETA, per-worker
+        /// active cell). Never touches stdout.
         progress: bool,
+        /// `--cores N`: global core budget for the work-stealing cell
+        /// pool, partitioned between cell-level parallelism and each
+        /// cell's own `--threads`. Execution-only — stdout is
+        /// byte-identical (modulo `wall_ms`) at any value.
+        cores: usize,
+        /// `--checkpoint FILE`: append one fsync'd record per completed
+        /// cell, so a killed sweep resumes instead of restarting.
+        checkpoint: Option<String>,
+        /// `--resume`: replay completed cells from the checkpoint file
+        /// (verified against this grid) and run only the rest.
+        resume: bool,
+    },
+    /// `soak FILE...`: re-measure committed bench baselines and fail on
+    /// throughput regressions beyond the tolerance.
+    Soak {
+        paths: Vec<String>,
+        /// `--iterations N`: re-measurements per baseline.
+        iterations: usize,
+        /// `--tolerance F`: relative slack before a mean counts as
+        /// regressed.
+        tolerance: f64,
     },
     /// `analyze FILE...`: read run lines and trace streams, print the
     /// aggregate report (stdin when no files are given).
     Analyze(Vec<String>),
     Help,
 }
+
+/// Default soak iterations per baseline.
+pub const DEFAULT_SOAK_ITERATIONS: usize = 3;
+
+/// Default soak tolerance: a mean more than 20% below the baseline
+/// regresses.
+pub const DEFAULT_SOAK_TOLERANCE: f64 = 0.2;
 
 /// Column where generated help text starts, matching the historical
 /// hand-written layout.
@@ -62,18 +91,24 @@ USAGE:
     gossip-sim [OPTIONS]
     gossip-sim grid [GRID OPTIONS] [OPTIONS]
     gossip-sim bench [BENCH OPTIONS]
+    gossip-sim soak [SOAK OPTIONS] FILE...
     gossip-sim analyze [FILE...]
 
 SUBCOMMANDS:
     grid     expand topology \u{d7} protocol \u{d7} scheduler \u{d7} \u{2026} axes into a full
              parameter grid and run every cell in one invocation, streaming
              one output line per run; each cell's result is byte-identical
-             to the same scenario run standalone
+             to the same scenario run standalone, at any --cores value
     bench    time the scenario's engine for a fixed round budget and report
              throughput plus the deterministic accounting totals as one JSON
              line: sync specs bench the round loop (rounds/sec,
              node-events/sec, per-phase breakdown), async specs the sliced
              event loop (events/sec, execute/merge/sweep breakdown)
+    soak     re-run the bench scenarios recorded in BENCH_*.json baseline
+             files and compare throughput (events/sec for async baselines,
+             node-events/sec for sync ones) against the committed values;
+             one JSON verdict line per baseline, nonzero exit when any
+             mean regresses beyond the tolerance
     analyze  aggregate run lines and trace streams (files, or stdin when no
              files are given) into a plain-text report: rounds-to-completion
              percentiles per scenario, advert-vs-uniform speedup tables,
@@ -86,10 +121,34 @@ GRID OPTIONS:
                                                 fastest), [output] format/history
     --axis <KEY=V1,V2,...>                      append one sweep axis (repeatable);
                                                 applied after the spec file's axes
-    --progress                                  per-cell heartbeat on stderr (cell i/N,
-                                                elapsed, ETA); stdout is untouched
+    --cores <N>                                 global core budget for the work-stealing
+                                                cell pool: cells run concurrently on
+                                                max(1, N / threads) workers; stdout stays
+                                                byte-identical (modulo wall_ms) to
+                                                --cores 1 [default: 1]
+    --checkpoint <FILE>                         append one fsync'd JSONL record per
+                                                completed cell to FILE; a killed sweep
+                                                restarts from its checkpoint via --resume
+                                                instead of re-running finished cells
+    --resume                                    replay cells already recorded in the
+                                                --checkpoint file (verified against this
+                                                grid) and run only the remainder; the
+                                                combined stdout is byte-identical to an
+                                                uninterrupted run
+    --progress                                  per-cell heartbeat on stderr (done/total,
+                                                running + stolen counts, ETA from the
+                                                running mean of completed-cell wall
+                                                times, per-worker active cell); stdout
+                                                is untouched
     plus every run option below as a base assignment shared by all cells
     (overriding the spec file's [scenario] section)
+
+SOAK OPTIONS:
+    --iterations <N>                            re-measurements per baseline; the mean
+                                                is compared [default: 3]
+    --tolerance <F>                             relative slack, 0 <= F < 1: regressed
+                                                iff mean < baseline * (1 - F)
+                                                [default: 0.2]
 
 OPTIONS:
 ",
@@ -192,6 +251,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     if args.first().is_some_and(|a| a == "grid") {
         return parse_grid_args(&args[1..]);
     }
+    if args.first().is_some_and(|a| a == "soak") {
+        return parse_soak_args(&args[1..]);
+    }
     if args.first().is_some_and(|a| a == "analyze") {
         return parse_analyze_args(&args[1..]);
     }
@@ -240,6 +302,58 @@ fn parse_analyze_args(args: &[String]) -> Result<Command, String> {
     Ok(Command::Analyze(paths))
 }
 
+/// Parse the arguments of the `soak` subcommand: baseline file paths plus
+/// the iteration count and tolerance knobs.
+fn parse_soak_args(args: &[String]) -> Result<Command, String> {
+    let mut paths = Vec::new();
+    let mut iterations = DEFAULT_SOAK_ITERATIONS;
+    let mut tolerance = DEFAULT_SOAK_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if is_help(arg) {
+            return Ok(Command::Help);
+        }
+        if arg == "--iterations" {
+            let raw = it
+                .next()
+                .ok_or_else(|| "--iterations requires a count".to_string())?;
+            iterations = raw
+                .parse()
+                .map_err(|_| format!("--iterations '{raw}' is not a positive integer"))?;
+            if iterations == 0 {
+                return Err("--iterations must be at least 1".to_string());
+            }
+            continue;
+        }
+        if arg == "--tolerance" {
+            let raw = it
+                .next()
+                .ok_or_else(|| "--tolerance requires a fraction".to_string())?;
+            tolerance = raw
+                .parse()
+                .map_err(|_| format!("--tolerance '{raw}' is not a number"))?;
+            if !(0.0..1.0).contains(&tolerance) {
+                return Err(format!(
+                    "--tolerance {raw}: the relative slack must satisfy 0 <= F < 1"
+                ));
+            }
+            continue;
+        }
+        if arg.starts_with('-') {
+            return Err(format!("unknown soak argument '{arg}' (try --help)"));
+        }
+        paths.push(arg.clone());
+    }
+    if paths.is_empty() {
+        return Err("soak requires at least one BENCH_*.json baseline file".to_string());
+    }
+    Ok(Command::Soak {
+        paths,
+        iterations,
+        tolerance,
+    })
+}
+
 /// Parse the arguments of the `bench` subcommand (everything after the
 /// literal `bench`). Bench shares the scenario vocabulary — restricted to
 /// the keys that affect the synchronous engine — plus the `--rounds`
@@ -265,13 +379,18 @@ fn parse_bench_args(args: &[String]) -> Result<Command, String> {
 }
 
 /// Parse the arguments of the `grid` subcommand: an optional `--spec`
-/// file, repeatable `--axis key=v1,v2` declarations, and any run flags as
-/// base assignments overriding the spec file's `[scenario]` section.
+/// file, repeatable `--axis key=v1,v2` declarations, the execution-only
+/// `--cores`/`--checkpoint`/`--resume`/`--progress` knobs, and any run
+/// flags as base assignments overriding the spec file's `[scenario]`
+/// section.
 fn parse_grid_args(args: &[String]) -> Result<Command, String> {
     let mut spec_path: Option<String> = None;
     let mut cli_axes: Vec<Axis> = Vec::new();
     let mut base: Vec<(&'static str, String)> = Vec::new();
     let mut progress = false;
+    let mut cores: usize = 1;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if is_help(arg) {
@@ -279,6 +398,31 @@ fn parse_grid_args(args: &[String]) -> Result<Command, String> {
         }
         if arg == "--progress" {
             progress = true;
+            continue;
+        }
+        if arg == "--cores" {
+            let raw = it
+                .next()
+                .ok_or_else(|| "--cores requires a core count".to_string())?;
+            cores = raw
+                .parse()
+                .map_err(|_| format!("--cores '{raw}' is not a positive integer"))?;
+            if cores == 0 {
+                return Err(
+                    "--cores 0 is meaningless: the cell pool needs at least one core".to_string(),
+                );
+            }
+            continue;
+        }
+        if arg == "--checkpoint" {
+            let path = it
+                .next()
+                .ok_or_else(|| "--checkpoint requires a file path".to_string())?;
+            checkpoint = Some(path.clone());
+            continue;
+        }
+        if arg == "--resume" {
+            resume = true;
             continue;
         }
         if arg == "--spec" {
@@ -321,6 +465,11 @@ fn parse_grid_args(args: &[String]) -> Result<Command, String> {
     for axis in cli_axes {
         grid.push_axis(axis);
     }
+    if resume && checkpoint.is_none() {
+        return Err(
+            "--resume replays a checkpoint file; pass --checkpoint FILE to name it".to_string(),
+        );
+    }
     // Expand here, once: every axis and cell error exits before any
     // output is produced, and the binary runs exactly the cells the
     // parser validated.
@@ -328,6 +477,9 @@ fn parse_grid_args(args: &[String]) -> Result<Command, String> {
     Ok(Command::Grid {
         scenarios,
         progress,
+        cores,
+        checkpoint,
+        resume,
     })
 }
 
@@ -568,6 +720,9 @@ mod tests {
         let Ok(Command::Grid {
             scenarios: cells,
             progress,
+            cores,
+            checkpoint,
+            resume,
         }) = parse(&[
             "grid",
             "--nodes",
@@ -585,6 +740,8 @@ mod tests {
         assert_eq!(cells.len(), 4);
         assert!(cells.iter().all(|s| s.nodes == 40 && s.seed == 3));
         assert!(!progress, "progress defaults off");
+        assert_eq!(cores, 1, "serial by default");
+        assert!(checkpoint.is_none() && !resume);
 
         let Ok(Command::Grid { progress, .. }) =
             parse(&["grid", "--progress", "--axis", "seed=1,2"])
@@ -598,6 +755,96 @@ mod tests {
         assert!(parse(&["grid", "--axis", "topology=torus"]).is_err());
         assert!(parse(&["grid", "--spec", "/nonexistent/file.spec"]).is_err());
         assert!(parse(&["grid", "--seeds"]).is_err());
+    }
+
+    #[test]
+    fn grid_pool_flags_parse() {
+        let Ok(Command::Grid {
+            cores,
+            checkpoint,
+            resume,
+            ..
+        }) = parse(&[
+            "grid",
+            "--cores",
+            "4",
+            "--checkpoint",
+            "cp.jsonl",
+            "--resume",
+            "--axis",
+            "seed=1,2",
+        ])
+        else {
+            panic!("expected Grid");
+        };
+        assert_eq!(cores, 4);
+        assert_eq!(checkpoint.as_deref(), Some("cp.jsonl"));
+        assert!(resume);
+
+        // The pool knobs are execution-only: the expanded cells are the
+        // same with or without them.
+        let cells_of = |args: &[&str]| match parse(args) {
+            Ok(Command::Grid { scenarios, .. }) => scenarios,
+            other => panic!("expected Grid, got {other:?}"),
+        };
+        assert_eq!(
+            cells_of(&["grid", "--cores", "8", "--axis", "seed=1,2"]),
+            cells_of(&["grid", "--axis", "seed=1,2"])
+        );
+
+        assert!(parse(&["grid", "--cores"]).is_err(), "--cores needs N");
+        assert!(parse(&["grid", "--cores", "0"]).is_err());
+        assert!(parse(&["grid", "--cores", "many"]).is_err());
+        assert!(parse(&["grid", "--checkpoint"]).is_err());
+        assert!(
+            parse(&["grid", "--resume", "--axis", "seed=1,2"]).is_err(),
+            "--resume without --checkpoint has no file to replay"
+        );
+        assert!(
+            parse(&["--cores", "4"]).is_err(),
+            "the core budget is grid-only"
+        );
+        assert!(parse(&["bench", "--cores", "4"]).is_err());
+    }
+
+    #[test]
+    fn soak_subcommand_parses() {
+        let Ok(Command::Soak {
+            paths,
+            iterations,
+            tolerance,
+        }) = parse(&["soak", "BENCH_a.json", "BENCH_b.json"])
+        else {
+            panic!("expected Soak");
+        };
+        assert_eq!(paths, vec!["BENCH_a.json", "BENCH_b.json"]);
+        assert_eq!(iterations, DEFAULT_SOAK_ITERATIONS);
+        assert_eq!(tolerance, DEFAULT_SOAK_TOLERANCE);
+
+        let Ok(Command::Soak {
+            iterations,
+            tolerance,
+            ..
+        }) = parse(&[
+            "soak",
+            "--iterations",
+            "5",
+            "--tolerance",
+            "0.5",
+            "BENCH_a.json",
+        ])
+        else {
+            panic!("expected Soak");
+        };
+        assert_eq!(iterations, 5);
+        assert_eq!(tolerance, 0.5);
+
+        assert!(matches!(parse(&["soak", "--help"]), Ok(Command::Help)));
+        assert!(parse(&["soak"]).is_err(), "a soak needs baselines");
+        assert!(parse(&["soak", "--iterations", "0", "f"]).is_err());
+        assert!(parse(&["soak", "--tolerance", "1.5", "f"]).is_err());
+        assert!(parse(&["soak", "--tolerance", "-0.1", "f"]).is_err());
+        assert!(parse(&["soak", "--frobnicate", "f"]).is_err());
     }
 
     #[test]
@@ -663,7 +910,19 @@ mod tests {
                 continue;
             };
             let known = ASSIGNMENTS.iter().any(|d| d.key == key)
-                || ["help", "spec", "axis", "progress", "trace"].contains(&key);
+                || [
+                    "help",
+                    "spec",
+                    "axis",
+                    "progress",
+                    "trace",
+                    "cores",
+                    "checkpoint",
+                    "resume",
+                    "iterations",
+                    "tolerance",
+                ]
+                .contains(&key);
             assert!(known, "usage advertises unknown flag --{key}");
         }
         // And every run-scoped flag round-trips through the parser with a

@@ -1,6 +1,8 @@
 use gossip_cli::{parse_args, usage, Command};
 use gossip_experiments::{
-    bench_to_json, effective_threads, run_bench, Emitter, RunMeta, Scenario, SchedulerSpec,
+    bench_to_json, effective_threads, execute_grid, parse_baselines, read_checkpoint, run_bench,
+    soak_line_json, soak_one, verify_against, CellRecord, CheckpointWriter, Emitter, RunMeta,
+    Scenario, SchedulerSpec, SoakConfig,
 };
 use gossip_telemetry::analyze::Analyzer;
 use gossip_telemetry::TraceWriter;
@@ -8,25 +10,19 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::time::Instant;
 
-/// Run a batch of scenarios (a single `run` invocation is a one-cell
-/// batch; a grid is many), streaming one line per run to stdout through a
-/// buffered, explicitly flushed writer. I/O errors propagate to [`main`],
-/// which treats a closed pipe (`gossip-sim | head`) as a normal way for a
-/// consumer to stop reading and anything else as a real error.
+/// Run one scenario's sweep (the `run` subcommand), streaming one line per
+/// run to stdout through a buffered, explicitly flushed writer. I/O errors
+/// propagate to [`main`], which treats a closed pipe (`gossip-sim | head`)
+/// as a normal way for a consumer to stop reading and anything else as a
+/// real error. (Grids go through [`run_grid`]'s cell pool instead.)
 ///
 /// With `trace`, every run's semantic events stream to the given file as
 /// schema-versioned JSONL: one header line per run, then one line per
 /// event. Tracing is execution-only — by the engines' determinism-under-
 /// observation contract the emitted run lines are byte-identical with it
 /// on or off, and the trace itself is byte-identical at any thread count.
-///
-/// With `progress`, a per-run heartbeat (run i/N, elapsed, ETA) goes to
-/// stderr; stdout stays reserved for run lines.
-fn run_and_emit(scenarios: &[Scenario], trace: Option<&str>, progress: bool) -> io::Result<()> {
-    let mut emitter = Emitter::new(
-        scenarios[0].output.format,
-        BufWriter::new(io::stdout().lock()),
-    );
+fn run_and_emit(scenario: &Scenario, trace: Option<&str>) -> io::Result<()> {
+    let mut emitter = Emitter::new(scenario.output.format, BufWriter::new(io::stdout().lock()));
     let mut tracer = match trace {
         Some(path) => {
             let file = File::create(path)
@@ -35,54 +31,32 @@ fn run_and_emit(scenarios: &[Scenario], trace: Option<&str>, progress: bool) -> 
         }
         None => None,
     };
-    let total_runs: usize = scenarios.iter().map(|s| s.seeds).sum();
-    let sweep_started = Instant::now();
-    let mut done = 0usize;
-    let mut clamp_warned = false;
-    for scenario in scenarios {
-        if let SchedulerSpec::Sync { threads } = scenario.scheduler {
-            if let (_, Some(warning)) = effective_threads(threads) {
-                if !clamp_warned {
-                    clamp_warned = true;
-                    eprintln!("warning: {warning}");
-                }
+    warn_thread_clamp(std::slice::from_ref(scenario));
+    // The per-seed loop mirrors `Scenario::sweep_timed_iter` exactly
+    // (same seed derivation, same timing) but is inlined so the trace
+    // writer can stamp each run's header before probing it.
+    let threads = scenario.scheduler.effective_threads();
+    for offset in 0..scenario.seeds as u64 {
+        let one = scenario.with_seed(scenario.seed.wrapping_add(offset));
+        let started = Instant::now();
+        let result = match tracer.as_mut() {
+            Some(tw) => {
+                tw.begin_run(&one.scenario_id(), one.nodes, one.messages, one.seed);
+                one.run_probed(tw)
             }
-        }
-        // The per-seed loop mirrors `Scenario::sweep_timed_iter` exactly
-        // (same seed derivation, same timing) but is inlined so the trace
-        // writer can stamp each run's header before probing it.
-        let threads = scenario.scheduler.effective_threads();
-        for offset in 0..scenario.seeds as u64 {
-            let one = scenario.with_seed(scenario.seed.wrapping_add(offset));
-            let started = Instant::now();
-            let result = match tracer.as_mut() {
-                Some(tw) => {
-                    tw.begin_run(&one.scenario_id(), one.nodes, one.messages, one.seed);
-                    one.run_probed(tw)
-                }
-                None => one.run(),
-            };
-            let meta = RunMeta {
-                threads,
-                wall_ms: started.elapsed().as_millis() as u64,
-            };
-            emitter.emit(scenario, &result, &meta)?;
-            done += 1;
-            if !result.completed {
-                eprintln!(
-                    "warning: {}: gossip did not complete within {} rounds",
-                    one.scenario_id(),
-                    result.rounds_executed
-                );
-            }
-            if progress {
-                let elapsed = sweep_started.elapsed().as_secs_f64();
-                let eta = elapsed / done as f64 * (total_runs.saturating_sub(done)) as f64;
-                eprintln!(
-                    "progress: run {done}/{total_runs} ({}) elapsed {elapsed:.1}s eta {eta:.1}s",
-                    one.scenario_id()
-                );
-            }
+            None => one.run(),
+        };
+        let meta = RunMeta {
+            threads,
+            wall_ms: started.elapsed().as_millis() as u64,
+        };
+        emitter.emit(scenario, &result, &meta)?;
+        if !result.completed {
+            eprintln!(
+                "warning: {}: gossip did not complete within {} rounds",
+                one.scenario_id(),
+                result.rounds_executed
+            );
         }
     }
     emitter.into_inner().flush()?;
@@ -91,6 +65,111 @@ fn run_and_emit(scenarios: &[Scenario], trace: Option<&str>, progress: bool) -> 
             .map_err(|e| io::Error::new(e.kind(), format!("--trace: {e}")))?;
     }
     Ok(())
+}
+
+/// Warn (once) when a sync cell's requested thread count exceeds the
+/// machine and will be clamped — the same warning the serial path prints.
+fn warn_thread_clamp(scenarios: &[Scenario]) {
+    for scenario in scenarios {
+        if let SchedulerSpec::Sync { threads } = scenario.scheduler {
+            if let (_, Some(warning)) = effective_threads(threads) {
+                eprintln!("warning: {warning}");
+                return;
+            }
+        }
+    }
+}
+
+/// `grid`: run the expanded cells on the work-stealing pool, streaming
+/// lines to stdout in row-major cell order — byte-identical (modulo
+/// `wall_ms`) to a serial grid at any `--cores` value. With
+/// `--checkpoint`, every completed cell is durably recorded; with
+/// `--resume`, recorded cells replay from the checkpoint instead of
+/// re-running, and the combined stdout matches an uninterrupted run.
+fn run_grid(
+    scenarios: &[Scenario],
+    progress: bool,
+    cores: usize,
+    checkpoint: Option<&str>,
+    resume: bool,
+) -> io::Result<()> {
+    let runs: usize = scenarios.iter().map(|s| s.seeds).sum();
+    eprintln!("grid: {} cell(s), {} run(s)", scenarios.len(), runs);
+    warn_thread_clamp(scenarios);
+
+    let mut resumed: Vec<Option<CellRecord>> = Vec::new();
+    let writer = match (checkpoint, resume) {
+        (None, _) => None, // --resume without --checkpoint is rejected at parse time
+        (Some(path), false) => Some(CheckpointWriter::create(path)?),
+        (Some(path), true) => {
+            let replay = read_checkpoint(path)?;
+            if replay.torn_tail {
+                eprintln!(
+                    "warning: --resume: '{path}' ends in a torn record (crash mid-write); \
+                     dropping it and re-running its cell"
+                );
+            }
+            resumed = verify_against(replay.records, scenarios).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("--resume: checkpoint '{path}' does not match this grid: {e}"),
+                )
+            })?;
+            let done = resumed.iter().filter(|slot| slot.is_some()).count();
+            eprintln!(
+                "resume: {done}/{} cell(s) already completed in '{path}'",
+                scenarios.len()
+            );
+            Some(CheckpointWriter::append(path)?)
+        }
+    };
+
+    let mut out = BufWriter::new(io::stdout().lock());
+    let summary = execute_grid(scenarios, cores, resumed, writer, progress, &mut out)?;
+    out.flush()?;
+    eprintln!(
+        "grid: done ({} worker(s), {} cell(s) stolen, {} cell(s) resumed)",
+        summary.workers, summary.stolen, summary.resumed
+    );
+    Ok(())
+}
+
+/// `soak`: re-measure every baseline in the given `BENCH_*.json` files and
+/// emit one JSON verdict line each. Returns whether any baseline
+/// regressed (the caller turns that into a nonzero exit).
+fn run_soak(paths: &[String], config: &SoakConfig) -> io::Result<bool> {
+    let mut out = BufWriter::new(io::stdout().lock());
+    let mut any_regressed = false;
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("soak: cannot read '{path}': {e}")))?;
+        let (baselines, warnings) = parse_baselines(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("soak: '{path}' is not a usable baseline file: {e}"),
+            )
+        })?;
+        for warning in warnings {
+            eprintln!("warning: soak: {path}: {warning}");
+        }
+        for baseline in &baselines {
+            let outcome = soak_one(baseline, config);
+            if outcome.regressed {
+                any_regressed = true;
+                eprintln!(
+                    "soak: REGRESSED {}: mean {:.0} {} vs baseline {:.0} (floor {:.0})",
+                    outcome.scenario_id,
+                    outcome.mean,
+                    outcome.metric,
+                    outcome.baseline,
+                    outcome.baseline * (1.0 - config.tolerance)
+                );
+            }
+            writeln!(out, "{}", soak_line_json(&outcome, config))?;
+        }
+    }
+    out.flush()?;
+    Ok(any_regressed)
 }
 
 /// `analyze`: aggregate run lines and trace streams from the given files
@@ -129,14 +208,35 @@ fn real_main() -> i32 {
     };
     let outcome = match command {
         Command::Help => io::stdout().write_all(usage().as_bytes()),
-        Command::Run { scenario, trace } => run_and_emit(&[scenario], trace.as_deref(), false),
+        Command::Run { scenario, trace } => run_and_emit(&scenario, trace.as_deref()),
         Command::Grid {
             scenarios,
             progress,
+            cores,
+            checkpoint,
+            resume,
+        } => run_grid(&scenarios, progress, cores, checkpoint.as_deref(), resume),
+        Command::Soak {
+            paths,
+            iterations,
+            tolerance,
         } => {
-            let runs: usize = scenarios.iter().map(|s| s.seeds).sum();
-            eprintln!("grid: {} cell(s), {} run(s)", scenarios.len(), runs);
-            run_and_emit(&scenarios, None, progress)
+            let config = SoakConfig {
+                iterations,
+                tolerance,
+            };
+            return match run_soak(&paths, &config) {
+                Ok(false) => 0,
+                Ok(true) => {
+                    eprintln!("error: soak: throughput regressed beyond the tolerance");
+                    1
+                }
+                Err(e) if e.kind() == io::ErrorKind::BrokenPipe => 0,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            };
         }
         Command::Bench(bench) => {
             if let SchedulerSpec::Sync { threads } = bench.scenario.scheduler {

@@ -1,0 +1,427 @@
+//! Crash-safe grid checkpointing: one fsync'd JSONL record per completed
+//! cell, replayable with `--resume`.
+//!
+//! A 10k-cell production sweep can run for hours; dying at cell 9,800 and
+//! starting over is not acceptable. The contract here:
+//!
+//! - **Write path** ([`CheckpointWriter`]): after a cell completes, its
+//!   record — cell index, `scenario_id`, seed, wall time, and the *exact*
+//!   stdout lines the cell emitted — is appended as one JSON line in a
+//!   single `write` call, then `fsync`'d before the next record. A
+//!   `kill -9` therefore loses at most the record being written, never a
+//!   previously acknowledged one.
+//! - **Read path** ([`read_checkpoint`]): records are parsed strictly. The
+//!   one tolerated defect is a *torn tail* — a final line without its
+//!   trailing newline that does not parse, exactly what a crash mid-write
+//!   leaves behind — which is dropped with a flag the caller turns into a
+//!   warning. Any other malformed or truncated line is a hard error: a
+//!   checkpoint that lies about completed work would silently corrupt the
+//!   resumed sweep.
+//! - **Verification** ([`verify_against`]): before any cell is skipped,
+//!   every record is checked against the expanded grid — index in range,
+//!   `scenario_id` and seed matching that cell, one line per sweep seed,
+//!   no duplicates — so resuming with the wrong spec file (or a stale
+//!   checkpoint) fails loudly instead of splicing mismatched results.
+//!
+//! Because records carry the cell's rendered output lines, `--resume`
+//! replays completed cells byte-for-byte: the resumed run's stdout is
+//! identical to an uninterrupted run's, which is the property CI enforces.
+
+use crate::spec::Scenario;
+use gossip_telemetry::json::{self, Value};
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+
+/// Version of the checkpoint record format. Bump when fields are added,
+/// removed, or renamed.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// One completed grid cell, as appended to (and replayed from) a
+/// checkpoint file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellRecord {
+    /// Row-major index of the cell in the expanded grid.
+    pub cell: usize,
+    /// The cell's [`Scenario::scenario_id`] (at its base seed) — the
+    /// identity `--resume` verifies before trusting the record.
+    pub scenario_id: String,
+    /// The cell's base seed (its sweep runs seeds `seed..seed+seeds`).
+    pub seed: u64,
+    /// Wall-clock cost of the cell, seeding the resumed run's ETA mean.
+    pub wall_ms: u64,
+    /// The exact stdout lines the cell emitted, in seed order (CSV header
+    /// excluded — the emitter owns that).
+    pub lines: Vec<String>,
+}
+
+impl CellRecord {
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::with_capacity(128 + self.lines.iter().map(String::len).sum::<usize>());
+        out.push_str(&format!(
+            "{{\"checkpoint\":{CHECKPOINT_SCHEMA_VERSION},\"cell\":{},\"scenario_id\":{},\
+             \"seed\":{},\"wall_ms\":{},\"lines\":[",
+            self.cell,
+            json::json_str(&self.scenario_id),
+            self.seed,
+            self.wall_ms,
+        ));
+        for (i, line) in self.lines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json::json_str(line));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse one checkpoint line. Strict: every field must be present and
+    /// well-typed, and the schema version must be one this build knows.
+    pub fn parse(line: &str) -> Result<CellRecord, String> {
+        let value = json::parse(line).map_err(|e| format!("not a JSON record: {e}"))?;
+        let field = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| format!("missing field '{key}'"))
+        };
+        let schema = field("checkpoint")?
+            .as_u64()
+            .ok_or("field 'checkpoint' is not an integer")?;
+        if schema != CHECKPOINT_SCHEMA_VERSION {
+            return Err(format!(
+                "checkpoint schema {schema} is not the supported version \
+                 {CHECKPOINT_SCHEMA_VERSION}"
+            ));
+        }
+        let cell = field("cell")?
+            .as_u64()
+            .ok_or("field 'cell' is not an integer")? as usize;
+        let scenario_id = field("scenario_id")?
+            .as_str()
+            .ok_or("field 'scenario_id' is not a string")?
+            .to_string();
+        let seed = field("seed")?
+            .as_u64()
+            .ok_or("field 'seed' is not an integer")?;
+        let wall_ms = field("wall_ms")?
+            .as_u64()
+            .ok_or("field 'wall_ms' is not an integer")?;
+        let Some(Value::Arr(raw_lines)) = value.get("lines") else {
+            return Err("field 'lines' is missing or not an array".to_string());
+        };
+        let mut lines = Vec::with_capacity(raw_lines.len());
+        for raw in raw_lines {
+            lines.push(
+                raw.as_str()
+                    .ok_or("field 'lines' holds a non-string entry")?
+                    .to_string(),
+            );
+        }
+        Ok(CellRecord {
+            cell,
+            scenario_id,
+            seed,
+            wall_ms,
+            lines,
+        })
+    }
+}
+
+/// Append-only checkpoint file handle. Every [`record`](Self::record) is
+/// one `write` call followed by `fsync`, so acknowledged records survive
+/// `kill -9` and power loss.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: File,
+    path: String,
+}
+
+impl CheckpointWriter {
+    /// Start a fresh checkpoint. Refuses to overwrite an existing file —
+    /// a stale checkpoint is either resumable (`--resume`) or the user's
+    /// to delete; silently clobbering one would destroy completed work.
+    pub fn create(path: &str) -> io::Result<CheckpointWriter> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| match e.kind() {
+                io::ErrorKind::AlreadyExists => io::Error::new(
+                    e.kind(),
+                    format!(
+                        "checkpoint file '{path}' already exists; \
+                         pass --resume to continue it or remove it to start over"
+                    ),
+                ),
+                _ => io::Error::new(e.kind(), format!("--checkpoint {path}: {e}")),
+            })?;
+        Ok(CheckpointWriter {
+            file,
+            path: path.to_string(),
+        })
+    }
+
+    /// Reopen an existing checkpoint for appending (the `--resume` path).
+    pub fn append(path: &str) -> io::Result<CheckpointWriter> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io::Error::new(e.kind(), format!("--checkpoint {path}: {e}")))?;
+        Ok(CheckpointWriter {
+            file,
+            path: path.to_string(),
+        })
+    }
+
+    /// Durably append one record: a single `write` of the full line, then
+    /// `fsync` before returning.
+    pub fn record(&mut self, record: &CellRecord) -> io::Result<()> {
+        let mut line = record.to_json();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io::Error::new(e.kind(), format!("--checkpoint {}: {e}", self.path)))
+    }
+}
+
+/// A read-back checkpoint file: the records, plus whether a torn tail (a
+/// crash's final partial line) was dropped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    pub records: Vec<CellRecord>,
+    /// True when the file ended in an unparseable line with no trailing
+    /// newline — the footprint of a record interrupted mid-write. The
+    /// caller should surface a warning; the torn record's cell simply
+    /// re-runs.
+    pub torn_tail: bool,
+}
+
+/// Read and strictly parse a checkpoint file. See the module docs for the
+/// torn-tail exception; every other malformed line is an error naming the
+/// line number.
+pub fn read_checkpoint(path: &str) -> io::Result<Checkpoint> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| io::Error::new(e.kind(), format!("--resume: cannot read '{path}': {e}")))?;
+    parse_checkpoint(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("--resume: checkpoint '{path}' is corrupt: {e}"),
+        )
+    })
+}
+
+/// [`read_checkpoint`] on in-memory text (the testable core).
+pub fn parse_checkpoint(text: &str) -> Result<Checkpoint, String> {
+    let mut records = Vec::new();
+    let mut torn_tail = false;
+    let mut chunks = text.split_inclusive('\n').enumerate().peekable();
+    while let Some((idx, chunk)) = chunks.next() {
+        let terminated = chunk.ends_with('\n');
+        let line = chunk.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            continue;
+        }
+        match CellRecord::parse(line) {
+            Ok(record) => records.push(record),
+            Err(e) if !terminated && chunks.peek().is_none() => {
+                // The one forgivable defect: a torn final line, i.e. a
+                // crash caught mid-write. Everything durable precedes it.
+                let _ = e;
+                torn_tail = true;
+            }
+            Err(e) => return Err(format!("line {}: {e}", idx + 1)),
+        }
+    }
+    Ok(Checkpoint { records, torn_tail })
+}
+
+/// Verify records against the expanded grid and slot them by cell index.
+/// Returns one `Option<CellRecord>` per grid cell (`Some` = completed,
+/// skip and replay), or a message naming the first mismatch — wrong grid,
+/// stale spec, duplicate record, wrong sweep width.
+pub fn verify_against(
+    records: Vec<CellRecord>,
+    scenarios: &[Scenario],
+) -> Result<Vec<Option<CellRecord>>, String> {
+    let mut slots: Vec<Option<CellRecord>> = vec![None; scenarios.len()];
+    for record in records {
+        let Some(scenario) = scenarios.get(record.cell) else {
+            return Err(format!(
+                "record for cell {} but the grid only expands to {} cells \
+                 (was the spec changed since the checkpoint was written?)",
+                record.cell,
+                scenarios.len()
+            ));
+        };
+        let expected = scenario.scenario_id();
+        if record.scenario_id != expected {
+            return Err(format!(
+                "cell {}: checkpoint says '{}' but the grid expands to '{expected}' \
+                 (was the spec changed since the checkpoint was written?)",
+                record.cell, record.scenario_id
+            ));
+        }
+        if record.seed != scenario.seed {
+            return Err(format!(
+                "cell {}: checkpoint seed {} does not match the grid's {}",
+                record.cell, record.seed, scenario.seed
+            ));
+        }
+        if record.lines.len() != scenario.seeds {
+            return Err(format!(
+                "cell {}: checkpoint holds {} output line(s) but the cell sweeps {} seed(s)",
+                record.cell,
+                record.lines.len(),
+                scenario.seeds
+            ));
+        }
+        let cell = record.cell;
+        if slots[cell].is_some() {
+            return Err(format!(
+                "cell {cell} is recorded twice — refusing to guess which record to trust"
+            ));
+        }
+        slots[cell] = Some(record);
+    }
+    Ok(slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioBuilder;
+    use crate::Grid;
+
+    fn sample_record(cell: usize) -> CellRecord {
+        CellRecord {
+            cell,
+            scenario_id: format!("ring-uniform-sync-n48-k1-s{}", 7 + cell),
+            seed: 7 + cell as u64,
+            wall_ms: 12,
+            lines: vec![format!("{{\"fake\":\"line for cell {cell}\"}}")],
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let record = CellRecord {
+            cell: 3,
+            scenario_id: "ring-advert-sync-n64-k1-s7".to_string(),
+            seed: 7,
+            wall_ms: 1234,
+            lines: vec![
+                "{\"schema\":1,\"x\":1}".to_string(),
+                "{\"schema\":1,\"quote\\\"\":2}".to_string(),
+            ],
+        };
+        let line = record.to_json();
+        assert!(!line.contains('\n'), "records must be line-oriented");
+        assert_eq!(CellRecord::parse(&line).unwrap(), record);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_records() {
+        assert!(CellRecord::parse("not json").is_err());
+        assert!(CellRecord::parse("{\"cell\":1}").is_err(), "missing fields");
+        let good = sample_record(0).to_json();
+        // Truncation anywhere inside the line breaks the JSON.
+        assert!(CellRecord::parse(&good[..good.len() / 2]).is_err());
+        // A wrong schema version is rejected even if well-formed.
+        let wrong = good.replace("\"checkpoint\":1", "\"checkpoint\":99");
+        assert!(CellRecord::parse(&wrong).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_everything_else_is_fatal() {
+        let a = sample_record(0).to_json();
+        let b = sample_record(1).to_json();
+
+        // A final line cut mid-record (no trailing newline): the crash
+        // footprint. Dropped, flagged.
+        let torn = format!("{a}\n{}", &b[..b.len() / 2]);
+        let checkpoint = parse_checkpoint(&torn).unwrap();
+        assert_eq!(checkpoint.records, vec![sample_record(0)]);
+        assert!(checkpoint.torn_tail);
+
+        // The same truncation with a trailing newline is a corrupt file,
+        // not a crash footprint.
+        let truncated_mid = format!("{}\n{b}\n", &a[..a.len() / 2]);
+        let err = parse_checkpoint(&truncated_mid).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+
+        // Garbage in the middle is fatal and names its line.
+        let garbage = format!("{a}\nxyzzy\n{b}\n");
+        let err = parse_checkpoint(&garbage).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+
+        // A clean file parses fully; a last line merely missing its
+        // newline but parsing fine is accepted, not treated as torn.
+        let clean = format!("{a}\n{b}");
+        let checkpoint = parse_checkpoint(&clean).unwrap();
+        assert_eq!(checkpoint.records.len(), 2);
+        assert!(!checkpoint.torn_tail);
+
+        // Empty file: nothing done yet, nothing wrong.
+        let empty = parse_checkpoint("").unwrap();
+        assert!(empty.records.is_empty() && !empty.torn_tail);
+    }
+
+    #[test]
+    fn verification_catches_grid_mismatches() {
+        let mut base = ScenarioBuilder::new();
+        base.set("nodes", "48").set("seed", "7");
+        let cells = Grid::new(base)
+            .axis("seed", ["7", "8", "9"])
+            .expand()
+            .unwrap();
+
+        let good = CellRecord {
+            cell: 1,
+            scenario_id: cells[1].scenario_id(),
+            seed: 8,
+            wall_ms: 1,
+            lines: vec!["line".to_string()],
+        };
+        let slots = verify_against(vec![good.clone()], &cells).unwrap();
+        assert_eq!(slots.len(), 3);
+        assert!(slots[0].is_none() && slots[2].is_none());
+        assert_eq!(slots[1], Some(good.clone()));
+
+        // Out-of-range cell index.
+        let mut bad = good.clone();
+        bad.cell = 9;
+        assert!(verify_against(vec![bad], &cells)
+            .unwrap_err()
+            .contains("only expands to 3"));
+
+        // Identity mismatch (stale spec).
+        let mut bad = good.clone();
+        bad.scenario_id = "grid-advert-sync-n48-k1-s8".to_string();
+        assert!(verify_against(vec![bad], &cells)
+            .unwrap_err()
+            .contains("spec changed"));
+
+        // Seed mismatch.
+        let mut bad = good.clone();
+        bad.seed = 77;
+        assert!(verify_against(vec![bad], &cells)
+            .unwrap_err()
+            .contains("seed"));
+
+        // Wrong sweep width.
+        let mut bad = good.clone();
+        bad.lines.push("extra".to_string());
+        assert!(verify_against(vec![bad], &cells)
+            .unwrap_err()
+            .contains("2 output line(s)"));
+
+        // Duplicate records.
+        assert!(verify_against(vec![good.clone(), good], &cells)
+            .unwrap_err()
+            .contains("twice"));
+    }
+}

@@ -283,6 +283,21 @@ impl<W: Write> Emitter<W> {
         }
     }
 
+    /// Emit one **pre-rendered** run line. This is how the parallel grid
+    /// pool streams its buffered cells and how `--resume` replays
+    /// checkpointed ones: cells render their lines off-thread (or read
+    /// them back from the checkpoint file), and the sequencer funnels
+    /// them through the emitter so the CSV header discipline — one
+    /// header, before the first row, wherever the row came from — still
+    /// holds.
+    pub fn emit_rendered(&mut self, line: &str) -> io::Result<()> {
+        if self.format == OutputFormat::Csv && !self.header_written {
+            self.header_written = true;
+            writeln!(self.out, "{}", csv_header())?;
+        }
+        writeln!(self.out, "{line}")
+    }
+
     /// The wrapped writer, back.
     pub fn into_inner(self) -> W {
         self.out

@@ -26,14 +26,24 @@
 //!   shared by run, grid, and bench front-ends.
 //! - **Bench** ([`mod@bench`]): fixed-round-budget engine timing over the
 //!   same scenario specs, so benchmarks cannot drift from experiments.
+//! - **Parallel execution** ([`pool`]): a work-stealing cell pool that
+//!   runs independent grid cells concurrently under a global core budget
+//!   while a sequencer keeps stdout byte-identical to the serial grid;
+//!   [`checkpoint`] makes long sweeps crash-safe (fsync'd per-cell JSONL
+//!   records, verified replay on `--resume`).
+//! - **Soak** ([`soak`]): re-measure committed `BENCH_*.json` baselines
+//!   and fail on throughput regressions beyond a tolerance.
 //!
 //! The `gossip-sim` binary is a thin flag-parsing front-end over this
 //! crate; any downstream tool can drive the identical experiment surface
 //! without shelling out.
 
 pub mod bench;
+pub mod checkpoint;
 pub mod emit;
 pub mod grid;
+pub mod pool;
+pub mod soak;
 pub mod spec;
 pub mod specfile;
 
@@ -41,10 +51,19 @@ pub use bench::{
     bench_to_json, run_bench, BenchReport, BenchScenario, EnginePhases, PhaseMs, SliceMs,
     BENCH_SCHEMA_VERSION, DEFAULT_BENCH_ROUNDS,
 };
+pub use checkpoint::{
+    parse_checkpoint, read_checkpoint, verify_against, CellRecord, Checkpoint, CheckpointWriter,
+    CHECKPOINT_SCHEMA_VERSION,
+};
 pub use emit::{
     csv_header, run_line_csv, run_line_json, to_json, Emitter, RunMeta, SCHEMA_VERSION,
 };
 pub use grid::{Axis, Grid, GridExpandError};
+pub use pool::{execute_grid, run_cell, worker_count, CellOutput, PoolSummary};
+pub use soak::{
+    parse_baselines, soak_line_json, soak_one, summarize, Baseline, SoakConfig, SoakOutcome,
+    SOAK_SCHEMA_VERSION,
+};
 pub use spec::{
     assignment, effective_threads, join_errors, AssignmentDef, ChurnSpec, DynamicsSpec,
     OutputFormat, OutputSpec, ProtocolSpec, Scenario, ScenarioBuilder, SchedulerSpec, SpecError,

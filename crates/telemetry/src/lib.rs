@@ -23,6 +23,9 @@
 //!   and produces rounds-to-completion percentile tables,
 //!   advert-vs-uniform speedup comparisons, dissemination-depth stats from
 //!   the infection DAG, and per-region balance summaries.
+//! - [`progress`] — pool-aware sweep progress bookkeeping (done/running/
+//!   stolen counts, running-mean ETA) behind the `grid --progress`
+//!   heartbeat.
 //!
 //! [`TraceWriter`] bridges the two worlds: a [`Probe`] that renders every
 //! event as one JSONL line (schema-versioned via
@@ -33,6 +36,7 @@ pub mod analyze;
 pub mod json;
 pub mod metrics;
 mod probe;
+pub mod progress;
 
 pub use probe::{
     BoundaryScope, MemoryProbe, MutateKind, NoopProbe, Probe, TraceEvent, TraceWriter,
