@@ -937,6 +937,7 @@ mod tests {
                         "protocol" => "advert",
                         "scheduler" => "sync",
                         "rejoin" => "keep",
+                        "membership" => "hyparview",
                         "format" => "json",
                         "drift" | "radius" | "churn-rate" | "fade-prob" | "refresh-jitter" => "0.1",
                         "min-latency" | "max-latency" => "100",
@@ -950,6 +951,12 @@ mod tests {
             let mut args: Vec<String> = vec!["--topology".into(), "rgg".into()];
             if def.key == "rejoin" {
                 args.extend(["--churn-rate".into(), "0.1".into()]);
+            }
+            if matches!(
+                def.key,
+                "active-view" | "passive-view" | "shuffle-period" | "probe-period"
+            ) {
+                args.extend(["--membership".into(), "hyparview".into()]);
             }
             args.extend(sample(def));
             let parsed = parse_args(&args);

@@ -137,6 +137,35 @@ pub fn to_json(result: &SimResult) -> String {
         }
         out.push_str("]}");
     }
+    if let Some(m) = &result.membership {
+        out.push_str(",\"membership\":{");
+        json_num(&mut out, "active_min", m.active_min as u64);
+        out.push(',');
+        // f64 via Display: shortest round-trip representation, stable
+        // across platforms for the deterministic engine's values.
+        out.push_str(&format!("\"active_mean\":{}", m.active_mean));
+        out.push(',');
+        json_num(&mut out, "active_max", m.active_max as u64);
+        out.push(',');
+        json_num(&mut out, "isolated_nodes", m.isolated_nodes as u64);
+        out.push(',');
+        json_num(&mut out, "joins", m.joins);
+        out.push(',');
+        json_num(&mut out, "shuffles", m.shuffles);
+        out.push(',');
+        json_num(&mut out, "probes", m.probes);
+        out.push(',');
+        json_num(&mut out, "suspicions", m.suspicions);
+        out.push(',');
+        json_num(&mut out, "evictions", m.evictions);
+        out.push(',');
+        json_num(
+            &mut out,
+            "false_positive_evictions",
+            m.false_positive_evictions,
+        );
+        out.push('}');
+    }
     if let Some(rounds) = &result.rounds {
         out.push_str(",\"rounds\":[");
         for (i, r) in rounds.iter().enumerate() {
@@ -181,16 +210,20 @@ pub fn run_line_json(scenario_id: &str, result: &SimResult, meta: &RunMeta) -> S
     out
 }
 
-/// The header row for CSV output. The column set is fixed — dynamics
-/// columns are simply empty on static runs — so outputs from different
-/// configs concatenate and load uniformly in plotting tools.
+/// The header row for CSV output. The column set is fixed — dynamics and
+/// membership columns are simply empty on runs that used neither — so
+/// outputs from different configs concatenate and load uniformly in
+/// plotting tools.
 pub fn csv_header() -> &'static str {
     "schema,scenario_id,topology,protocol,scheduler,nodes,messages,seed,\
      completed,rounds_to_completion,rounds_executed,virtual_time,\
      virtual_time_to_completion,total_connections,productive_connections,\
      wasted_connections,complete_nodes,dropped_proposals,dynamics_model,\
      departures,rejoins,edge_downs,edge_ups,rewires,severed_connections,\
-     peak_alive,min_alive,final_alive,threads,wall_ms"
+     peak_alive,min_alive,final_alive,mem_active_min,mem_active_mean,\
+     mem_active_max,mem_isolated_nodes,mem_joins,mem_shuffles,mem_probes,\
+     mem_suspicions,mem_evictions,mem_false_positive_evictions,threads,\
+     wall_ms"
 }
 
 /// Serialize one run as a CSV row matching [`csv_header`]. Absent values
@@ -235,6 +268,21 @@ pub fn run_line_csv(scenario_id: &str, result: &SimResult, meta: &RunMeta) -> St
         d.map(|d| d.final_alive),
     ] {
         fields.push(opt(value.map(|v| v as u64)));
+    }
+    let m = result.membership.as_ref();
+    fields.push(opt(m.map(|m| m.active_min as u64)));
+    fields.push(m.map(|m| m.active_mean.to_string()).unwrap_or_default());
+    fields.push(opt(m.map(|m| m.active_max as u64)));
+    fields.push(opt(m.map(|m| m.isolated_nodes as u64)));
+    for value in [
+        m.map(|m| m.joins),
+        m.map(|m| m.shuffles),
+        m.map(|m| m.probes),
+        m.map(|m| m.suspicions),
+        m.map(|m| m.evictions),
+        m.map(|m| m.false_positive_evictions),
+    ] {
+        fields.push(opt(value));
     }
     fields.push(meta.threads.to_string());
     fields.push(meta.wall_ms.to_string());
@@ -366,6 +414,47 @@ mod tests {
             "{row}"
         );
         assert!(row.starts_with(&format!("{SCHEMA_VERSION},{id},ring,")));
+    }
+
+    #[test]
+    fn membership_object_appears_only_on_overlay_runs() {
+        use crate::spec::MembershipSpec;
+        // Full-view default: the run JSON is byte-identical to the
+        // pre-membership serialization — no membership key at all.
+        let full = ScenarioBuilder::new().nodes(32).finish().unwrap();
+        let full_json = to_json(&full.run());
+        assert!(!full_json.contains("membership"), "{full_json}");
+
+        // The same scenario with the overlay on: a membership object with
+        // the overlay counters, placed before any rounds array.
+        let overlay = ScenarioBuilder::new()
+            .nodes(32)
+            .membership(MembershipSpec::HyParView {
+                active: 5,
+                passive: 30,
+                shuffle_period: 1,
+                probe_period: 1,
+            })
+            .finish()
+            .unwrap();
+        let result = overlay.run();
+        let json = to_json(&result);
+        assert!(json.contains("\"membership\":{\"active_min\":"), "{json}");
+        assert!(json.contains("\"false_positive_evictions\":"), "{json}");
+
+        // CSV rows stay aligned with the header in both shapes.
+        let meta = RunMeta {
+            threads: 1,
+            wall_ms: 0,
+        };
+        for (scenario, result) in [(&full, full.run()), (&overlay, result)] {
+            let row = run_line_csv(&scenario.scenario_id(), &result, &meta);
+            assert_eq!(
+                row.split(',').count(),
+                csv_header().split(',').count(),
+                "{row}"
+            );
+        }
     }
 
     #[test]

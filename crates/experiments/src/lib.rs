@@ -66,7 +66,7 @@ pub use soak::{
 };
 pub use spec::{
     assignment, effective_threads, join_errors, AssignmentDef, ChurnSpec, DynamicsSpec,
-    OutputFormat, OutputSpec, ProtocolSpec, Scenario, ScenarioBuilder, SchedulerSpec, SpecError,
-    TopologySpec, ASSIGNMENTS, SOURCES_SEED_SALT, TOPOLOGY_SEED_SALT,
+    MembershipSpec, OutputFormat, OutputSpec, ProtocolSpec, Scenario, ScenarioBuilder,
+    SchedulerSpec, SpecError, TopologySpec, ASSIGNMENTS, SOURCES_SEED_SALT, TOPOLOGY_SEED_SALT,
 };
 pub use specfile::parse_spec;

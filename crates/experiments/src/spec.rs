@@ -20,8 +20,8 @@ use gossip_dynamics::{
 };
 use gossip_protocols::GossipProtocol;
 use gossip_sim::{
-    default_round_cap, random_sources, AsyncScheduler, Scheduler, SimConfig, SimResult,
-    SyncScheduler,
+    default_round_cap, random_sources, AsyncScheduler, MembershipConfig, Scheduler, SimConfig,
+    SimResult, SyncScheduler,
 };
 use gossip_telemetry::{NoopProbe, Probe};
 
@@ -371,6 +371,67 @@ impl DynamicsSpec {
     }
 }
 
+/// Which neighborhoods the protocol gossips over.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum MembershipSpec {
+    /// Full knowledge: every node gossips over its complete underlay
+    /// neighbor list, exactly as in pre-membership builds. The default —
+    /// it adds no membership state and serializes nothing extra.
+    #[default]
+    Full,
+    /// Discovered neighborhoods: a bounded HyParView-style partial view
+    /// (symmetric active view + passive reservoir, refreshed by
+    /// deterministic shuffles) with SWIM-style probe → suspect → evict
+    /// failure detection, ticked at round/slice boundaries. The protocol
+    /// then sees only each node's active view.
+    HyParView {
+        /// Active (gossip) view capacity per node.
+        active: usize,
+        /// Passive (reservoir) view capacity per node.
+        passive: usize,
+        /// Ticks between shuffle rounds (1 = every round).
+        shuffle_period: u64,
+        /// Ticks between failure-detector probes (1 = every round).
+        probe_period: u64,
+    },
+}
+
+impl MembershipSpec {
+    /// Canonical names, in the order help text lists them.
+    pub const NAMES: &'static [&'static str] = &["full", "hyparview"];
+
+    /// The canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MembershipSpec::Full => "full",
+            MembershipSpec::HyParView { .. } => "hyparview",
+        }
+    }
+
+    /// Does this spec gossip over the full underlay (no overlay state)?
+    pub fn is_full(&self) -> bool {
+        matches!(self, MembershipSpec::Full)
+    }
+
+    /// The engine-level membership config, `None` for full knowledge.
+    pub fn to_config(&self) -> Option<MembershipConfig> {
+        match *self {
+            MembershipSpec::Full => None,
+            MembershipSpec::HyParView {
+                active,
+                passive,
+                shuffle_period,
+                probe_period,
+            } => Some(MembershipConfig {
+                active_size: active,
+                passive_size: passive,
+                shuffle_period,
+                probe_period,
+            }),
+        }
+    }
+}
+
 /// How results leave the process.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum OutputFormat {
@@ -436,6 +497,7 @@ pub struct Scenario {
     /// Round cap; `None` uses [`gossip_sim::default_round_cap`].
     pub max_rounds: Option<usize>,
     pub dynamics: DynamicsSpec,
+    pub membership: MembershipSpec,
     pub output: OutputSpec,
 }
 
@@ -527,6 +589,17 @@ impl Scenario {
         if self.dynamics.mobility {
             id.push_str("-mobility");
         }
+        if let MembershipSpec::HyParView {
+            active,
+            passive,
+            shuffle_period,
+            probe_period,
+        } = &self.membership
+        {
+            id.push_str(&format!(
+                "-mem@a{active}p{passive}sh{shuffle_period}pr{probe_period}"
+            ));
+        }
         id.push_str(&format!("-s{}", self.seed));
         id
     }
@@ -551,8 +624,11 @@ impl Scenario {
         let scheduler = self.scheduler.build();
         let sources = self.sources();
         let sim_cfg = self.sim_config();
-        match self.dynamics.build(geometry.as_ref()) {
-            None => scheduler.run_probed(
+        match (
+            self.dynamics.build(geometry.as_ref()),
+            self.membership.to_config(),
+        ) {
+            (None, None) => scheduler.run_probed(
                 &topology,
                 protocol.as_ref(),
                 &sources,
@@ -560,9 +636,28 @@ impl Scenario {
                 &sim_cfg,
                 probe,
             ),
-            Some(dynamics) => scheduler.run_dynamic_probed(
+            (Some(dynamics), None) => scheduler.run_dynamic_probed(
                 &topology,
                 dynamics.as_ref(),
+                protocol.as_ref(),
+                &sources,
+                self.seed,
+                &sim_cfg,
+                probe,
+            ),
+            (None, Some(membership)) => scheduler.run_membership_probed(
+                &topology,
+                &membership,
+                protocol.as_ref(),
+                &sources,
+                self.seed,
+                &sim_cfg,
+                probe,
+            ),
+            (Some(dynamics), Some(membership)) => scheduler.run_dynamic_membership_probed(
+                &topology,
+                dynamics.as_ref(),
+                &membership,
                 protocol.as_ref(),
                 &sources,
                 self.seed,
@@ -643,6 +738,19 @@ impl Scenario {
         }
         if self.dynamics.mobility {
             kv("mobility", "true".to_string());
+        }
+        if let MembershipSpec::HyParView {
+            active,
+            passive,
+            shuffle_period,
+            probe_period,
+        } = &self.membership
+        {
+            kv("membership", "hyparview".to_string());
+            kv("active-view", active.to_string());
+            kv("passive-view", passive.to_string());
+            kv("shuffle-period", shuffle_period.to_string());
+            kv("probe-period", probe_period.to_string());
         }
         out.push_str("\n[output]\n");
         out.push_str(&format!("format = {}\n", self.output.format.name()));
@@ -824,6 +932,46 @@ pub const ASSIGNMENTS: &[AssignmentDef] = &[
         axis: true,
     },
     AssignmentDef {
+        key: "membership",
+        metavar: Some("full|hyparview"),
+        help: "neighborhoods the protocol gossips over:\nthe full underlay neighbor list, or a\nbounded HyParView-style partial view with\nSWIM-style failure detection [default: full]",
+        run: true,
+        bench: false,
+        axis: true,
+    },
+    AssignmentDef {
+        key: "active-view",
+        metavar: Some("N"),
+        help: "membership: active (gossip) view capacity\nper node (requires membership hyparview)\n[default: 5]",
+        run: true,
+        bench: false,
+        axis: true,
+    },
+    AssignmentDef {
+        key: "passive-view",
+        metavar: Some("N"),
+        help: "membership: passive reservoir capacity\nper node (requires membership hyparview)\n[default: 30]",
+        run: true,
+        bench: false,
+        axis: true,
+    },
+    AssignmentDef {
+        key: "shuffle-period",
+        metavar: Some("R"),
+        help: "membership: rounds between view shuffles\n(requires membership hyparview) [default: 1]",
+        run: true,
+        bench: false,
+        axis: true,
+    },
+    AssignmentDef {
+        key: "probe-period",
+        metavar: Some("R"),
+        help: "membership: rounds between failure-detector\nprobes (requires membership hyparview)\n[default: 1]",
+        run: true,
+        bench: false,
+        axis: true,
+    },
+    AssignmentDef {
         key: "format",
         metavar: Some("json|csv"),
         help: "output format; csv emits a header row\nplus one row per run [default: json]",
@@ -883,6 +1031,11 @@ pub struct ScenarioBuilder {
     rejoin: Option<RejoinPolicy>,
     fade_prob: Option<f64>,
     mobility: bool,
+    membership_hyparview: bool,
+    active_view: Option<usize>,
+    passive_view: Option<usize>,
+    shuffle_period: Option<usize>,
+    probe_period: Option<usize>,
     format: OutputFormat,
     history: bool,
     bench_rounds: Option<usize>,
@@ -915,6 +1068,11 @@ impl ScenarioBuilder {
             rejoin: None,
             fade_prob: None,
             mobility: false,
+            membership_hyparview: false,
+            active_view: None,
+            passive_view: None,
+            shuffle_period: None,
+            probe_period: None,
             format: OutputFormat::Json,
             history: false,
             bench_rounds: None,
@@ -990,6 +1148,31 @@ impl ScenarioBuilder {
 
     pub fn mobility(mut self, mobility: bool) -> Self {
         self.mobility = mobility;
+        self
+    }
+
+    pub fn membership(mut self, membership: MembershipSpec) -> Self {
+        match membership {
+            MembershipSpec::Full => {
+                self.membership_hyparview = false;
+                self.active_view = None;
+                self.passive_view = None;
+                self.shuffle_period = None;
+                self.probe_period = None;
+            }
+            MembershipSpec::HyParView {
+                active,
+                passive,
+                shuffle_period,
+                probe_period,
+            } => {
+                self.membership_hyparview = true;
+                self.active_view = Some(active);
+                self.passive_view = Some(passive);
+                self.shuffle_period = Some(shuffle_period as usize);
+                self.probe_period = Some(probe_period as usize);
+            }
+        }
         self
     }
 
@@ -1122,6 +1305,31 @@ impl ScenarioBuilder {
             "mobility" => {
                 if let Some(b) = self.boolean(key, value) {
                     self.mobility = b;
+                }
+            }
+            "membership" => match value {
+                "full" => self.membership_hyparview = false,
+                "hyparview" => self.membership_hyparview = true,
+                _ => self.unknown_value(key, value, MembershipSpec::NAMES),
+            },
+            "active-view" => {
+                if let Some(n) = self.num(key, value) {
+                    self.active_view = Some(n);
+                }
+            }
+            "passive-view" => {
+                if let Some(n) = self.num(key, value) {
+                    self.passive_view = Some(n);
+                }
+            }
+            "shuffle-period" => {
+                if let Some(n) = self.num(key, value) {
+                    self.shuffle_period = Some(n);
+                }
+            }
+            "probe-period" => {
+                if let Some(n) = self.num(key, value) {
+                    self.probe_period = Some(n);
                 }
             }
             "format" => match OutputFormat::parse(value) {
@@ -1296,6 +1504,45 @@ impl ScenarioBuilder {
             }
         }
 
+        // Membership: view/period knobs only mean something on the
+        // HyParView overlay; the crate's own validator decides the usable
+        // ranges so no front-end admits a config the engine panics on.
+        let membership = if self.membership_hyparview {
+            let defaults = MembershipConfig::default();
+            let spec = MembershipSpec::HyParView {
+                active: self.active_view.unwrap_or(defaults.active_size),
+                passive: self.passive_view.unwrap_or(defaults.passive_size),
+                shuffle_period: self
+                    .shuffle_period
+                    .unwrap_or(defaults.shuffle_period as usize)
+                    as u64,
+                probe_period: self.probe_period.unwrap_or(defaults.probe_period as usize) as u64,
+            };
+            if let Some(cfg) = spec.to_config() {
+                if let Err(e) = cfg.validate() {
+                    errors.push(SpecError::OutOfRange {
+                        key: "active-view/passive-view/shuffle-period/probe-period".to_string(),
+                        reason: e,
+                    });
+                }
+            }
+            spec
+        } else {
+            for (key, set) in [
+                ("active-view", self.active_view.is_some()),
+                ("passive-view", self.passive_view.is_some()),
+                ("shuffle-period", self.shuffle_period.is_some()),
+                ("probe-period", self.probe_period.is_some()),
+            ] {
+                if set {
+                    errors.push(SpecError::Conflict {
+                        reason: format!("{key} requires membership hyparview"),
+                    });
+                }
+            }
+            MembershipSpec::Full
+        };
+
         let output = OutputSpec {
             format: self.format,
             history: self.history,
@@ -1319,6 +1566,7 @@ impl ScenarioBuilder {
             seeds: self.seeds,
             max_rounds: self.max_rounds,
             dynamics,
+            membership,
             output,
         })
     }
@@ -1356,6 +1604,73 @@ mod tests {
             .finish()
             .unwrap();
         assert_eq!(adaptive.topology, TopologySpec::Rgg { radius: None });
+    }
+
+    #[test]
+    fn membership_survives_the_spec_round_trip_and_stamps_the_id() {
+        let scenario = ScenarioBuilder::new()
+            .membership(MembershipSpec::HyParView {
+                active: 4,
+                passive: 16,
+                shuffle_period: 2,
+                probe_period: 3,
+            })
+            .finish()
+            .unwrap();
+        assert!(scenario.scenario_id().contains("-mem@a4p16sh2pr3-s1"));
+        let cells = crate::parse_spec(&scenario.to_spec())
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(cells, vec![scenario]);
+
+        // The full-view default stamps nothing: ids are byte-identical to
+        // pre-membership builds.
+        let full = ScenarioBuilder::new().finish().unwrap();
+        assert_eq!(full.membership, MembershipSpec::Full);
+        assert!(!full.scenario_id().contains("mem@"));
+        assert!(!full.to_spec().contains("membership"));
+    }
+
+    #[test]
+    fn membership_params_require_the_hyparview_overlay() {
+        for key in [
+            "active-view",
+            "passive-view",
+            "shuffle-period",
+            "probe-period",
+        ] {
+            let mut b = ScenarioBuilder::new();
+            b.set(key, "4");
+            let errors = b.finish().unwrap_err();
+            assert!(
+                errors
+                    .iter()
+                    .any(|e| e.to_string().contains("requires membership hyparview")),
+                "{key}: {errors:?}"
+            );
+        }
+        // Zero capacities and periods are config bugs the membership
+        // crate's validator names.
+        for key in [
+            "active-view",
+            "passive-view",
+            "shuffle-period",
+            "probe-period",
+        ] {
+            let mut b = ScenarioBuilder::new();
+            b.set("membership", "hyparview");
+            b.set(key, "0");
+            assert!(b.finish().is_err(), "{key} = 0 must be rejected");
+        }
+        // Defaults fill the unset knobs.
+        let mut b = ScenarioBuilder::new();
+        b.set("membership", "hyparview");
+        let scenario = b.finish().unwrap();
+        assert_eq!(
+            scenario.membership.to_config(),
+            Some(MembershipConfig::default())
+        );
     }
 
     #[test]

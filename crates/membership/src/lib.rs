@@ -1,0 +1,695 @@
+//! Partial-view membership: bounded HyParView-style active/passive views
+//! with SWIM-style probe/suspect/evict failure detection.
+//!
+//! The simulator's engines hand every node its *full* underlay
+//! neighborhood. Real smartphone meshes do not work that way: a peer only
+//! gossips with the handful of neighbors it has *discovered*, maintained
+//! by a membership protocol. This crate supplies that layer as a
+//! [`Membership`] overlay sitting between the underlay topology and the
+//! gossip protocol:
+//!
+//! - **Active views** (HyParView): each node keeps a small bounded set of
+//!   symmetric links — the peers it actually gossips with. [`Membership`]
+//!   implements [`GraphView`], so the engines' advertise/scan/connect
+//!   machinery runs over the discovered overlay completely unmodified.
+//! - **Passive views** (HyParView): a larger bounded reservoir of known
+//!   peers, refreshed by periodic shuffle steps and promoted into the
+//!   active view when capacity frees up (eviction, churn).
+//! - **Failure detection** (SWIM): each node periodically probes one
+//!   random active peer. A probe fails when the peer is dead or no longer
+//!   underlay-reachable; the peer is then *suspected* and, unless a later
+//!   probe refutes the suspicion before its deadline (two probe periods),
+//!   *evicted* from the active view. An eviction whose target was in fact
+//!   alive and reachable is counted as a **false positive**.
+//!
+//! # Determinism
+//!
+//! All membership state advances in [`Membership::tick`], which both
+//! engines call from **serial** sections only — the synchronous scheduler
+//! at round boundaries, the time-sliced asynchronous scheduler at slice
+//! boundaries, before the parallel phase of the round/slice reads the
+//! views. One tick consumes exactly one RNG stream,
+//! `Rng::stream(seed, tick, MEMBERSHIP_STREAM)`, walked in node-id order,
+//! so the overlay's evolution is a pure function of
+//! `(seed, tick, underlay, alive)` and is byte-identical at any thread
+//! count. Trace emission never consumes randomness, so probed and
+//! unprobed runs agree too.
+//!
+//! # Interaction with churn
+//!
+//! A departed node's *own* state is cleared (it powered off), but its
+//! peers keep their links to it — they have no oracle, and must discover
+//! the death the way a real mesh does: the link stops working (a dead
+//! peer never listens, so connections to it simply fail) and the failure
+//! detector eventually suspects and evicts it. A rejoining node comes
+//! back empty and re-enters through the join step. The symmetry invariant
+//! therefore holds between *alive* nodes; links dangling toward the dead
+//! are exactly the staleness the layer is modeling.
+
+use gossip_core::{GraphView, NodeId, Rng, TICKS_PER_ROUND};
+use gossip_telemetry::{Probe, TraceEvent};
+
+/// Stream id for membership ticks, disjoint from every engine stream
+/// (matching boundary `u64::MAX - 1`, sliced sweep `u64::MAX - 2`, sliced
+/// mutation `u64::MAX - 3`, and the bounded per-region bases).
+pub const MEMBERSHIP_STREAM: u64 = u64::MAX - 4;
+
+/// Tuning knobs of the membership layer. Validated once by the
+/// experiment front-ends via [`validate`](Self::validate); the layer
+/// itself assumes a valid config.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// Active view bound: how many symmetric gossip links a node keeps.
+    pub active_size: usize,
+    /// Passive view bound: how many known-peer entries a node remembers.
+    pub passive_size: usize,
+    /// Shuffle every this many ticks (1 = every round/slice).
+    pub shuffle_period: u64,
+    /// Probe one random active peer every this many ticks. The suspect
+    /// deadline is two probe periods: one full period in which a repeat
+    /// probe may refute the suspicion before eviction.
+    pub probe_period: u64,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            active_size: 5,
+            passive_size: 30,
+            shuffle_period: 1,
+            probe_period: 1,
+        }
+    }
+}
+
+impl MembershipConfig {
+    /// Range-check the knobs; the error names the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.active_size == 0 {
+            return Err("active view size must be at least 1".to_string());
+        }
+        if self.passive_size == 0 {
+            return Err("passive view size must be at least 1".to_string());
+        }
+        if self.shuffle_period == 0 {
+            return Err("shuffle period must be at least 1 tick".to_string());
+        }
+        if self.probe_period == 0 {
+            return Err("probe period must be at least 1 tick".to_string());
+        }
+        Ok(())
+    }
+
+    /// Ticks from suspicion to eviction (two probe periods).
+    pub fn suspect_timeout(&self) -> u64 {
+        2 * self.probe_period
+    }
+}
+
+/// End-of-run membership metrics, emitted as `SimResult.membership`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MembershipStats {
+    /// Smallest active view over alive nodes at the end of the run.
+    pub active_min: usize,
+    /// Mean active view size over alive nodes at the end of the run.
+    pub active_mean: f64,
+    /// Largest active view over alive nodes at the end of the run.
+    pub active_max: usize,
+    /// Alive nodes whose active view ended empty (undiscovered or
+    /// physically isolated).
+    pub isolated_nodes: usize,
+    /// Join steps taken (initial discovery and post-churn re-entry).
+    pub joins: u64,
+    /// Shuffle steps taken (one per node per shuffle tick).
+    pub shuffles: u64,
+    /// Probes sent.
+    pub probes: u64,
+    /// Probe failures that opened a suspicion.
+    pub suspicions: u64,
+    /// Suspects evicted at their deadline.
+    pub evictions: u64,
+    /// Evictions whose target was alive and underlay-reachable — the
+    /// failure detector's false-positive count.
+    pub false_positive_evictions: u64,
+}
+
+/// The membership overlay: per-node bounded active/passive views plus
+/// suspect bookkeeping. Implements [`GraphView`] over the **active**
+/// views, so engines gossip over the discovered overlay exactly as they
+/// would over an underlay topology.
+#[derive(Clone, Debug)]
+pub struct Membership {
+    cfg: MembershipConfig,
+    /// Sorted active view per node (the `GraphView` adjacency).
+    active: Vec<Vec<NodeId>>,
+    /// Sorted passive view per node, disjoint from the active view.
+    passive: Vec<Vec<NodeId>>,
+    /// Open suspicions per node: `(suspect, eviction deadline tick)`.
+    suspects: Vec<Vec<(NodeId, u64)>>,
+    /// Liveness at the previous tick, to detect deaths edge-triggered.
+    alive_prev: Vec<bool>,
+    /// Scratch candidate buffer, reused across ticks.
+    scratch: Vec<NodeId>,
+    joins: u64,
+    shuffles: u64,
+    probes: u64,
+    suspicions: u64,
+    evictions: u64,
+    false_positive_evictions: u64,
+}
+
+impl GraphView for Membership {
+    fn num_nodes(&self) -> usize {
+        self.active.len()
+    }
+
+    fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.active[node.index()]
+    }
+}
+
+fn is_alive(alive: Option<&[bool]>, u: usize) -> bool {
+    alive.is_none_or(|mask| mask[u])
+}
+
+fn contains(view: &[NodeId], v: NodeId) -> bool {
+    view.binary_search(&v).is_ok()
+}
+
+fn insert_sorted(view: &mut Vec<NodeId>, v: NodeId) {
+    if let Err(pos) = view.binary_search(&v) {
+        view.insert(pos, v);
+    }
+}
+
+/// Remove `v` if present; reports whether it was.
+fn remove_sorted(view: &mut Vec<NodeId>, v: NodeId) -> bool {
+    match view.binary_search(&v) {
+        Ok(pos) => {
+            view.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+impl Membership {
+    /// An empty overlay over `n` nodes: every view starts empty and fills
+    /// through join/shuffle ticks (discovery is part of the model).
+    pub fn new(n: usize, cfg: MembershipConfig) -> Self {
+        Membership {
+            cfg,
+            active: vec![Vec::new(); n],
+            passive: vec![Vec::new(); n],
+            suspects: vec![Vec::new(); n],
+            alive_prev: vec![true; n],
+            scratch: Vec::new(),
+            joins: 0,
+            shuffles: 0,
+            probes: 0,
+            suspicions: 0,
+            evictions: 0,
+            false_positive_evictions: 0,
+        }
+    }
+
+    /// The configuration this overlay runs with.
+    pub fn config(&self) -> &MembershipConfig {
+        &self.cfg
+    }
+
+    /// `node`'s current passive view (sorted).
+    pub fn passive_view(&self, node: NodeId) -> &[NodeId] {
+        &self.passive[node.index()]
+    }
+
+    /// Advance the overlay by one tick (a synchronous round or an
+    /// asynchronous slice pass). Serial and deterministic: one RNG stream
+    /// per tick, walked in node-id order; `probe` observes join / shuffle
+    /// / suspect / evict events but never perturbs the stream.
+    ///
+    /// `underlay` is the physical topology (who *could* be discovered),
+    /// `alive` the dynamics liveness mask (`None` = everyone alive).
+    pub fn tick<G: GraphView + ?Sized>(
+        &mut self,
+        underlay: &G,
+        alive: Option<&[bool]>,
+        seed: u64,
+        tick: u64,
+        probe: &mut dyn Probe,
+    ) {
+        let n = self.active.len();
+        let mut rng = Rng::stream(seed, tick, MEMBERSHIP_STREAM);
+        let tracing = probe.enabled();
+        let t = tick * TICKS_PER_ROUND;
+
+        // 1. Edge-triggered deaths: a departing node loses its own state
+        //    (it powered off). Peers keep their dangling links — the
+        //    failure detector has to find the death, that's the model.
+        for u in 0..n {
+            let a = is_alive(alive, u);
+            if !a && self.alive_prev[u] {
+                self.active[u].clear();
+                self.passive[u].clear();
+                self.suspects[u].clear();
+            }
+            self.alive_prev[u] = a;
+        }
+
+        // 2. Join: a node with an empty active view links to one random
+        //    alive underlay neighbor (initial discovery and churn
+        //    re-entry both land here).
+        for u in 0..n {
+            if !is_alive(alive, u) || !self.active[u].is_empty() {
+                continue;
+            }
+            self.scratch.clear();
+            for &v in underlay.neighbors(NodeId(u as u32)) {
+                if is_alive(alive, v.index()) {
+                    self.scratch.push(v);
+                }
+            }
+            if self.scratch.is_empty() {
+                continue; // physically isolated right now
+            }
+            let c = self.scratch[rng.gen_range(self.scratch.len())];
+            self.link(u, c.index(), &mut rng);
+            self.joins += 1;
+            if tracing {
+                probe.record(&TraceEvent::Join {
+                    t,
+                    round: tick,
+                    node: u as u32,
+                    peer: c.0,
+                });
+            }
+        }
+
+        // 3. Shuffle: refresh the passive reservoir with one random alive
+        //    underlay neighbor, then promote alive passive peers until the
+        //    active view is full again.
+        if tick.is_multiple_of(self.cfg.shuffle_period) {
+            for u in 0..n {
+                if !is_alive(alive, u) {
+                    continue;
+                }
+                self.scratch.clear();
+                for &v in underlay.neighbors(NodeId(u as u32)) {
+                    if is_alive(alive, v.index()) && v.index() != u {
+                        self.scratch.push(v);
+                    }
+                }
+                if !self.scratch.is_empty() {
+                    let v = self.scratch[rng.gen_range(self.scratch.len())];
+                    self.note_passive(u, v.index(), &mut rng);
+                    self.shuffles += 1;
+                    if tracing {
+                        probe.record(&TraceEvent::Shuffle {
+                            t,
+                            round: tick,
+                            node: u as u32,
+                            peer: v.0,
+                        });
+                    }
+                }
+                self.promote(u, alive, &mut rng);
+            }
+        }
+
+        // 4. Probe: ping one random active peer; failure (dead or no
+        //    longer underlay-reachable) opens a suspicion, success refutes
+        //    any standing one.
+        if tick.is_multiple_of(self.cfg.probe_period) {
+            for u in 0..n {
+                if !is_alive(alive, u) || self.active[u].is_empty() {
+                    continue;
+                }
+                let v = self.active[u][rng.gen_range(self.active[u].len())];
+                self.probes += 1;
+                let reachable =
+                    is_alive(alive, v.index()) && underlay.are_neighbors(NodeId(u as u32), v);
+                if reachable {
+                    self.suspects[u].retain(|&(s, _)| s != v);
+                } else if !self.suspects[u].iter().any(|&(s, _)| s == v) {
+                    self.suspects[u].push((v, tick + self.cfg.suspect_timeout()));
+                    self.suspicions += 1;
+                    if tracing {
+                        probe.record(&TraceEvent::Suspect {
+                            t,
+                            round: tick,
+                            node: u as u32,
+                            peer: v.0,
+                        });
+                    }
+                }
+            }
+        }
+
+        // 5. Evict: unrefuted suspicions past their deadline sever the
+        //    link on both sides. An eviction of a peer that was actually
+        //    alive and reachable is a detector false positive.
+        for u in 0..n {
+            let mut i = 0;
+            while i < self.suspects[u].len() {
+                if self.suspects[u][i].1 > tick {
+                    i += 1;
+                    continue;
+                }
+                let (v, _) = self.suspects[u].remove(i);
+                if remove_sorted(&mut self.active[u], v) {
+                    remove_sorted(&mut self.active[v.index()], NodeId(u as u32));
+                    self.evictions += 1;
+                    if is_alive(alive, v.index()) && underlay.are_neighbors(NodeId(u as u32), v) {
+                        self.false_positive_evictions += 1;
+                    }
+                    if tracing {
+                        probe.record(&TraceEvent::Evict {
+                            t,
+                            round: tick,
+                            node: u as u32,
+                            peer: v.0,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Establish the symmetric active link `u — v`, demoting a random
+    /// victim to the passive view on any side that is full. Idempotent
+    /// per side, so a half-link (churn leftovers) heals into a full one.
+    fn link(&mut self, u: usize, v: usize, rng: &mut Rng) {
+        if u == v {
+            return;
+        }
+        if !contains(&self.active[u], NodeId(v as u32)) {
+            self.make_room(u, rng);
+            insert_sorted(&mut self.active[u], NodeId(v as u32));
+        }
+        if !contains(&self.active[v], NodeId(u as u32)) {
+            self.make_room(v, rng);
+            insert_sorted(&mut self.active[v], NodeId(u as u32));
+        }
+        // Active and passive stay disjoint.
+        remove_sorted(&mut self.passive[u], NodeId(v as u32));
+        remove_sorted(&mut self.passive[v], NodeId(u as u32));
+    }
+
+    /// If `u`'s active view is full, demote one random link to make room:
+    /// the severed endpoints remember each other passively.
+    fn make_room(&mut self, u: usize, rng: &mut Rng) {
+        if self.active[u].len() < self.cfg.active_size {
+            return;
+        }
+        let idx = rng.gen_range(self.active[u].len());
+        let w = self.active[u].remove(idx);
+        remove_sorted(&mut self.active[w.index()], NodeId(u as u32));
+        self.note_passive(u, w.index(), rng);
+        self.note_passive(w.index(), u, rng);
+    }
+
+    /// Remember `v` in `u`'s bounded passive view (evicting a random
+    /// entry when full); no-op if already known actively or passively.
+    fn note_passive(&mut self, u: usize, v: usize, rng: &mut Rng) {
+        if u == v
+            || contains(&self.active[u], NodeId(v as u32))
+            || contains(&self.passive[u], NodeId(v as u32))
+        {
+            return;
+        }
+        if self.passive[u].len() >= self.cfg.passive_size {
+            let idx = rng.gen_range(self.passive[u].len());
+            self.passive[u].remove(idx);
+        }
+        insert_sorted(&mut self.passive[u], NodeId(v as u32));
+    }
+
+    /// Promote random alive passive peers into `u`'s active view until it
+    /// is full (or the passive view runs out of alive candidates).
+    fn promote(&mut self, u: usize, alive: Option<&[bool]>, rng: &mut Rng) {
+        while self.active[u].len() < self.cfg.active_size {
+            self.scratch.clear();
+            self.scratch.extend(
+                self.passive[u]
+                    .iter()
+                    .copied()
+                    .filter(|v| is_alive(alive, v.index())),
+            );
+            if self.scratch.is_empty() {
+                return;
+            }
+            let v = self.scratch[rng.gen_range(self.scratch.len())];
+            remove_sorted(&mut self.passive[u], v);
+            self.link(u, v.index(), rng);
+        }
+    }
+
+    /// End-of-run stats over the final views; `alive` masks the view-size
+    /// aggregates to nodes that are still up.
+    pub fn finish(&self, alive: Option<&[bool]>) -> MembershipStats {
+        let n = self.active.len();
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        let mut count = 0usize;
+        let mut isolated = 0usize;
+        for u in 0..n {
+            if !is_alive(alive, u) {
+                continue;
+            }
+            let len = self.active[u].len();
+            min = min.min(len);
+            max = max.max(len);
+            sum += len;
+            count += 1;
+            if len == 0 {
+                isolated += 1;
+            }
+        }
+        MembershipStats {
+            active_min: if count == 0 { 0 } else { min },
+            active_mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            active_max: max,
+            isolated_nodes: isolated,
+            joins: self.joins,
+            shuffles: self.shuffles,
+            probes: self.probes,
+            suspicions: self.suspicions,
+            evictions: self.evictions,
+            false_positive_evictions: self.false_positive_evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_core::Topology;
+    use gossip_telemetry::{MemoryProbe, NoopProbe};
+
+    fn run_ticks(topo: &Topology, cfg: MembershipConfig, seed: u64, ticks: u64) -> Membership {
+        let mut mem = Membership::new(topo.num_nodes(), cfg);
+        for tick in 1..=ticks {
+            mem.tick(topo, None, seed, tick, &mut NoopProbe);
+        }
+        mem
+    }
+
+    fn assert_invariants(mem: &Membership, topo: &Topology) {
+        let n = topo.num_nodes();
+        for u in 0..n {
+            let active = mem.neighbors(NodeId(u as u32));
+            assert!(
+                active.len() <= mem.config().active_size,
+                "node {u}: active view over bound"
+            );
+            assert!(
+                mem.passive_view(NodeId(u as u32)).len() <= mem.config().passive_size,
+                "node {u}: passive view over bound"
+            );
+            assert!(active.windows(2).all(|w| w[0] < w[1]), "node {u}: unsorted");
+            for &v in active {
+                assert_ne!(v.index(), u, "node {u}: self-link");
+                assert!(
+                    topo.are_neighbors(NodeId(u as u32), v),
+                    "node {u}: active peer {v:?} is not an underlay neighbor"
+                );
+                assert!(
+                    mem.neighbors(v).contains(&NodeId(u as u32)),
+                    "link {u} -> {v:?} is not symmetric"
+                );
+                assert!(
+                    !contains(mem.passive_view(NodeId(u as u32)), v),
+                    "node {u}: {v:?} both active and passive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_views_converge_nonempty_symmetric_and_bounded() {
+        for (name, topo) in [
+            ("ring", Topology::ring(64)),
+            ("grid", Topology::grid(64)),
+            ("complete", Topology::complete(16)),
+        ] {
+            let mem = run_ticks(&topo, MembershipConfig::default(), 7, 10);
+            assert_invariants(&mem, &topo);
+            for u in 0..topo.num_nodes() {
+                assert!(
+                    !mem.neighbors(NodeId(u as u32)).is_empty(),
+                    "{name}: node {u} still isolated after 10 ticks"
+                );
+            }
+            let stats = mem.finish(None);
+            assert_eq!(stats.isolated_nodes, 0);
+            assert!(stats.active_min >= 1);
+            assert!(stats.active_max <= 5);
+            assert!(stats.joins >= topo.num_nodes() as u64 / 2);
+        }
+    }
+
+    #[test]
+    fn ticks_are_deterministic_and_probe_independent() {
+        let topo = Topology::grid(100);
+        let mut a = Membership::new(100, MembershipConfig::default());
+        let mut b = Membership::new(100, MembershipConfig::default());
+        let mut probe = MemoryProbe::default();
+        for tick in 1..=8 {
+            a.tick(&topo, None, 42, tick, &mut NoopProbe);
+            b.tick(&topo, None, 42, tick, &mut probe);
+        }
+        for u in 0..100 {
+            assert_eq!(a.neighbors(NodeId(u)), b.neighbors(NodeId(u)));
+            assert_eq!(a.passive_view(NodeId(u)), b.passive_view(NodeId(u)));
+        }
+        assert_eq!(a.finish(None), b.finish(None));
+        assert!(
+            probe
+                .events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Join { .. })),
+            "tracing a converging overlay must observe joins"
+        );
+    }
+
+    #[test]
+    fn dead_peers_are_suspected_then_evicted() {
+        let topo = Topology::complete(8);
+        let cfg = MembershipConfig {
+            active_size: 7,
+            ..MembershipConfig::default()
+        };
+        let mut mem = Membership::new(8, cfg);
+        let all_alive = vec![true; 8];
+        for tick in 1..=6 {
+            mem.tick(&topo, Some(&all_alive), 3, tick, &mut NoopProbe);
+        }
+        // Node 0 departs; its links dangle until probes find the death.
+        let mut alive = all_alive.clone();
+        alive[0] = false;
+        let dangling: Vec<usize> = (1..8)
+            .filter(|&u| contains(mem.neighbors(NodeId(u as u32)), NodeId(0)))
+            .collect();
+        assert!(
+            !dangling.is_empty(),
+            "a 7-wide view on K8 must include node 0"
+        );
+        for tick in 7..=40 {
+            mem.tick(&topo, Some(&alive), 3, tick, &mut NoopProbe);
+        }
+        let stats = mem.finish(Some(&alive));
+        assert!(stats.suspicions > 0, "the dead peer was never suspected");
+        assert!(stats.evictions > 0, "the dead peer was never evicted");
+        assert_eq!(
+            stats.false_positive_evictions, 0,
+            "evicting a dead peer is not a false positive"
+        );
+        for u in 1..8 {
+            assert!(
+                !contains(mem.neighbors(NodeId(u as u32)), NodeId(0)),
+                "node {u} still links the departed node 0"
+            );
+        }
+        // The dead node's own state was cleared on departure.
+        assert!(mem.neighbors(NodeId(0)).is_empty());
+        assert!(mem.passive_view(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn rejoiners_reenter_through_join() {
+        let topo = Topology::ring(16);
+        let mut mem = Membership::new(16, MembershipConfig::default());
+        let mut alive = vec![true; 16];
+        for tick in 1..=4 {
+            mem.tick(&topo, Some(&alive), 9, tick, &mut NoopProbe);
+        }
+        alive[5] = false;
+        for tick in 5..=12 {
+            mem.tick(&topo, Some(&alive), 9, tick, &mut NoopProbe);
+        }
+        assert!(mem.neighbors(NodeId(5)).is_empty());
+        let joins_before = mem.finish(Some(&alive)).joins;
+        alive[5] = true;
+        for tick in 13..=16 {
+            mem.tick(&topo, Some(&alive), 9, tick, &mut NoopProbe);
+        }
+        let stats = mem.finish(Some(&alive));
+        assert!(stats.joins > joins_before, "the rejoiner never re-joined");
+        assert!(!mem.neighbors(NodeId(5)).is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_stay_isolated_and_are_counted() {
+        // Two components: {0,1} and {2,3}, plus node 4 with no edges.
+        let topo = Topology::from_edges("split", 5, &[(0, 1), (2, 3)]);
+        let mem = run_ticks(&topo, MembershipConfig::default(), 1, 6);
+        assert!(mem.neighbors(NodeId(4)).is_empty());
+        let stats = mem.finish(None);
+        assert_eq!(stats.isolated_nodes, 1);
+        assert_eq!(stats.active_min, 0);
+    }
+
+    #[test]
+    fn config_validation_names_the_bad_field() {
+        let ok = MembershipConfig::default();
+        assert!(ok.validate().is_ok());
+        for (cfg, needle) in [
+            (
+                MembershipConfig {
+                    active_size: 0,
+                    ..ok
+                },
+                "active",
+            ),
+            (
+                MembershipConfig {
+                    passive_size: 0,
+                    ..ok
+                },
+                "passive",
+            ),
+            (
+                MembershipConfig {
+                    shuffle_period: 0,
+                    ..ok
+                },
+                "shuffle",
+            ),
+            (
+                MembershipConfig {
+                    probe_period: 0,
+                    ..ok
+                },
+                "probe",
+            ),
+        ] {
+            let err = cfg.validate().expect_err("must reject the zero field");
+            assert!(err.contains(needle), "error '{err}' must name '{needle}'");
+        }
+    }
+}

@@ -45,6 +45,7 @@ use std::collections::BinaryHeap;
 use gossip_core::time::{SimTime, TimingConfig, TICKS_PER_ROUND};
 use gossip_core::{Advertisement, IncrementalMatcher, Intent, NodeId, PeerState, Rng, Topology};
 use gossip_dynamics::{DynamicsModel, MutationKind};
+use gossip_membership::MembershipConfig;
 use gossip_protocols::{GossipProtocol, NodeCtx};
 use gossip_telemetry::{NoopProbe, Probe};
 
@@ -168,7 +169,7 @@ impl Scheduler for AsyncScheduler {
         config: &SimConfig,
         probe: &mut dyn Probe,
     ) -> SimResult {
-        crate::sliced::run_sliced(self, topology, protocol, sources, seed, config, probe).0
+        crate::sliced::run_sliced(self, topology, None, protocol, sources, seed, config, probe).0
     }
 
     fn run_dynamic_probed(
@@ -182,7 +183,55 @@ impl Scheduler for AsyncScheduler {
         probe: &mut dyn Probe,
     ) -> SimResult {
         crate::sliced::run_dynamic_sliced(
-            self, topology, dynamics, protocol, sources, seed, config, probe,
+            self, topology, dynamics, None, protocol, sources, seed, config, probe,
+        )
+        .0
+    }
+
+    fn run_membership_probed(
+        &self,
+        topology: &Topology,
+        membership: &MembershipConfig,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+        probe: &mut dyn Probe,
+    ) -> SimResult {
+        crate::sliced::run_sliced(
+            self,
+            topology,
+            Some(membership),
+            protocol,
+            sources,
+            seed,
+            config,
+            probe,
+        )
+        .0
+    }
+
+    fn run_dynamic_membership_probed(
+        &self,
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
+        membership: &MembershipConfig,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+        probe: &mut dyn Probe,
+    ) -> SimResult {
+        crate::sliced::run_dynamic_sliced(
+            self,
+            topology,
+            dynamics,
+            Some(membership),
+            protocol,
+            sources,
+            seed,
+            config,
+            probe,
         )
         .0
     }
@@ -202,6 +251,7 @@ impl AsyncScheduler {
         crate::sliced::run_sliced(
             self,
             topology,
+            None,
             protocol,
             sources,
             seed,

@@ -34,6 +34,16 @@
 //! nodes, and [`SimResult::dynamics`] carries the churn-aware metrics
 //! ([`DynamicsStats`]): departures, rejoins, severed connections,
 //! peak/min alive counts, and a [`CoveragePoint`] timeline.
+//!
+//! Both schedulers can also gossip over **discovered** rather than given
+//! neighborhoods: [`Scheduler::run_membership`] (and the dynamic
+//! variant) threads a [`Membership`] overlay — bounded HyParView-style
+//! active/passive views with SWIM-style failure detection, from the
+//! `gossip-membership` crate — between the underlay and the protocol,
+//! ticking it serially at round (sync) or slice (async) boundaries so
+//! determinism at any thread count is preserved.
+//! [`SimResult::membership`] then carries the overlay's metrics
+//! ([`MembershipStats`]).
 
 mod dynamic;
 mod event_driven;
@@ -42,6 +52,7 @@ mod scheduler;
 mod sliced;
 
 pub use event_driven::AsyncScheduler;
+pub use gossip_membership::{Membership, MembershipConfig, MembershipStats};
 pub use metrics::{CoveragePoint, DynamicsStats, RoundStats, SimResult};
 pub use scheduler::{PhaseTimings, Scheduler, SyncScheduler};
 pub use sliced::{SliceTimings, EVENT_REGIONS, SLICE_TICKS};

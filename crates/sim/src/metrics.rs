@@ -1,5 +1,7 @@
 //! Per-round and whole-run metrics recorded by the engine.
 
+use gossip_membership::MembershipStats;
+
 /// Counters for one simulated round.
 ///
 /// Under a dynamics model, `complete_nodes` and `messages_held` count
@@ -128,6 +130,13 @@ pub struct SimResult {
     /// model, so static results serialize byte-identically to pre-dynamics
     /// builds.
     pub dynamics: Option<DynamicsStats>,
+    /// Membership-layer metrics; `Some` exactly when the run gossiped
+    /// over a discovered overlay ([`Scheduler::run_membership_probed`]
+    /// and friends), so full-view results serialize byte-identically to
+    /// pre-membership builds.
+    ///
+    /// [`Scheduler::run_membership_probed`]: crate::Scheduler::run_membership_probed
+    pub membership: Option<MembershipStats>,
     /// Per-round history; `Some` exactly when requested in `SimConfig`, so
     /// consumers can rely on its presence as a function of the flag (it is
     /// `Some(vec![])` for a run that was already complete at round 0).

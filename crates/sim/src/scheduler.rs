@@ -40,6 +40,7 @@ use gossip_core::{
     Resolution, Rng, Topology, TransferStats, MATCH_REGIONS,
 };
 use gossip_dynamics::DynamicsModel;
+use gossip_membership::{Membership, MembershipConfig};
 use gossip_protocols::{GossipProtocol, NodeCtx};
 use gossip_telemetry::metrics::RegionLoad;
 use gossip_telemetry::{BoundaryScope, NoopProbe, Probe, TraceEvent};
@@ -95,6 +96,42 @@ pub trait Scheduler {
         probe: &mut dyn Probe,
     ) -> SimResult;
 
+    /// [`run_probed`](Self::run_probed) over *discovered* neighborhoods:
+    /// a [`Membership`] overlay (bounded HyParView-style views with
+    /// SWIM-style failure detection) sits between the underlay `topology`
+    /// and the protocol, ticking at round (sync) or slice (async)
+    /// boundaries, and the protocol gossips over its active views instead
+    /// of the full topology. Deterministic at any thread count: the
+    /// overlay only ever advances in serial engine sections.
+    #[allow(clippy::too_many_arguments)]
+    fn run_membership_probed(
+        &self,
+        topology: &Topology,
+        membership: &MembershipConfig,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+        probe: &mut dyn Probe,
+    ) -> SimResult;
+
+    /// [`run_membership_probed`](Self::run_membership_probed) over a
+    /// network mutating under `dynamics`: churned-out nodes linger in
+    /// their peers' views until the failure detector suspects and evicts
+    /// them, and rejoiners re-enter through the join step.
+    #[allow(clippy::too_many_arguments)]
+    fn run_dynamic_membership_probed(
+        &self,
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
+        membership: &MembershipConfig,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+        probe: &mut dyn Probe,
+    ) -> SimResult;
+
     /// [`run_probed`](Self::run_probed) without observation — the
     /// disabled probe costs one branch per round.
     fn run(
@@ -122,6 +159,53 @@ pub trait Scheduler {
         self.run_dynamic_probed(
             topology,
             dynamics,
+            protocol,
+            sources,
+            seed,
+            config,
+            &mut NoopProbe,
+        )
+    }
+
+    /// [`run_membership_probed`](Self::run_membership_probed) without
+    /// observation.
+    fn run_membership(
+        &self,
+        topology: &Topology,
+        membership: &MembershipConfig,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult {
+        self.run_membership_probed(
+            topology,
+            membership,
+            protocol,
+            sources,
+            seed,
+            config,
+            &mut NoopProbe,
+        )
+    }
+
+    /// [`run_dynamic_membership_probed`](Self::run_dynamic_membership_probed)
+    /// without observation.
+    #[allow(clippy::too_many_arguments)]
+    fn run_dynamic_membership(
+        &self,
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
+        membership: &MembershipConfig,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+    ) -> SimResult {
+        self.run_dynamic_membership_probed(
+            topology,
+            dynamics,
+            membership,
             protocol,
             sources,
             seed,
@@ -171,6 +255,7 @@ pub(crate) fn init_run(
         complete_nodes,
         dropped_proposals: 0,
         dynamics: None,
+        membership: None,
         rounds: config.record_rounds.then(|| config.history_vec()),
     };
     (states, result)
@@ -736,6 +821,234 @@ impl Scheduler for SyncScheduler {
         result.virtual_time_to_completion = result
             .rounds_to_completion
             .map(|r| r as u64 * TICKS_PER_ROUND);
+        result.dynamics = Some(dynr.finish(SimTime(result.virtual_time)));
+        result
+    }
+
+    /// The membership variant of the static round loop: the overlay ticks
+    /// serially at the top of every round (join → shuffle/promote → probe
+    /// → evict, one `(seed, round, MEMBERSHIP_STREAM)` stream walked in
+    /// node order), then the identical sharded phases run with the
+    /// overlay's active views as the graph. Scan, matching, and event
+    /// emission all read the same frozen views, so the round is coherent
+    /// and deterministic at any thread count.
+    fn run_membership_probed(
+        &self,
+        topology: &Topology,
+        membership: &MembershipConfig,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+        probe: &mut dyn Probe,
+    ) -> SimResult {
+        let n = topology.num_nodes();
+        let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
+        let mut mem = Membership::new(n, *membership);
+        if result.completed {
+            result.membership = Some(mem.finish(None));
+            return result;
+        }
+        let mut complete_nodes = result.complete_nodes;
+        let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
+        let mut intents: Vec<Intent> = vec![Intent::Idle; n];
+
+        for round in 1..=config.max_rounds {
+            mem.tick(topology, None, seed, round as u64, probe);
+
+            advertise_phase(
+                None,
+                protocol,
+                &states,
+                &mut ads,
+                round as u64,
+                self.threads,
+            );
+            scan_phase(
+                &mem,
+                None,
+                protocol,
+                &states,
+                &ads,
+                &mut intents,
+                seed,
+                round as u64,
+                self.threads,
+            );
+            let resolution = resolve_connections_sharded(
+                &mem,
+                &intents,
+                seed,
+                round as u64,
+                MATCH_REGIONS,
+                self.threads,
+            );
+            let transfer = if probe.enabled() {
+                emit_round_events(probe, &mem, &intents, &resolution, round as u64);
+                traced_transfer(probe, &mut states, &resolution.connections, round as u64)
+            } else {
+                states.union_pairs_parallel(&resolution.connections, self.threads)
+            };
+
+            complete_nodes += transfer.newly_full;
+            let formed = resolution.connections.len();
+            result.rounds_executed = round;
+            result.total_connections += formed;
+            result.productive_connections += transfer.productive;
+            result.wasted_connections += formed - transfer.productive;
+            result.dropped_proposals += resolution.dropped_proposals;
+            if let Some(history) = &mut result.rounds {
+                history.push(RoundStats {
+                    round,
+                    connections: formed,
+                    productive: transfer.productive,
+                    complete_nodes,
+                    messages_held: states.total_messages(),
+                });
+            }
+
+            if probe.enabled() {
+                probe.record(&TraceEvent::Boundary {
+                    t: round as u64 * TICKS_PER_ROUND,
+                    round: round as u64,
+                    scope: BoundaryScope::Round,
+                });
+            }
+
+            if complete_nodes == n {
+                result.completed = true;
+                result.rounds_to_completion = Some(round);
+                break;
+            }
+        }
+
+        result.complete_nodes = complete_nodes;
+        result.virtual_time = result.rounds_executed as u64 * TICKS_PER_ROUND;
+        result.virtual_time_to_completion = result
+            .rounds_to_completion
+            .map(|r| r as u64 * TICKS_PER_ROUND);
+        result.membership = Some(mem.finish(None));
+        result
+    }
+
+    /// Membership over a mutating network: mutations drain at the round
+    /// boundary first (fixing the alive set and underlay for the round),
+    /// then the overlay ticks against them — so a departure is visible to
+    /// the failure detector the round it happens, and a rejoiner can
+    /// re-join the same round it returns.
+    fn run_dynamic_membership_probed(
+        &self,
+        topology: &Topology,
+        dynamics: &dyn DynamicsModel,
+        membership: &MembershipConfig,
+        protocol: &dyn GossipProtocol,
+        sources: &[NodeId],
+        seed: u64,
+        config: &SimConfig,
+        probe: &mut dyn Probe,
+    ) -> SimResult {
+        let n = topology.num_nodes();
+        let (mut states, mut result) = init_run(topology, protocol, "sync", sources, seed, config);
+        let mut dynr = DynRun::new(topology, dynamics, seed, &states);
+        let mut mem = Membership::new(n, *membership);
+        if result.completed {
+            result.membership = Some(mem.finish(Some(dynr.topo.alive_mask())));
+            result.dynamics = Some(dynr.finish(SimTime::ZERO));
+            return result;
+        }
+        let mut ads: Vec<Advertisement> = vec![Advertisement::default(); n];
+        let mut intents: Vec<Intent> = vec![Intent::Idle; n];
+
+        for round in 1..=config.max_rounds {
+            let horizon = SimTime(round as u64 * TICKS_PER_ROUND);
+            let mutated = if probe.enabled() {
+                dynr.drain_until_probed(horizon, &mut states, sources, probe, round as u64)
+            } else {
+                dynr.drain_until(horizon, &mut states, sources)
+            };
+            if mutated && dynr.complete() {
+                result.completed = true;
+                result.rounds_to_completion = Some(round - 1);
+                break;
+            }
+
+            let alive = Some(dynr.topo.alive_mask());
+            mem.tick(&dynr.topo, alive, seed, round as u64, probe);
+
+            advertise_phase(
+                alive,
+                protocol,
+                &states,
+                &mut ads,
+                round as u64,
+                self.threads,
+            );
+            scan_phase(
+                &mem,
+                alive,
+                protocol,
+                &states,
+                &ads,
+                &mut intents,
+                seed,
+                round as u64,
+                self.threads,
+            );
+            let resolution = resolve_connections_sharded(
+                &mem,
+                &intents,
+                seed,
+                round as u64,
+                MATCH_REGIONS,
+                self.threads,
+            );
+            let transfer = if probe.enabled() {
+                emit_round_events(probe, &mem, &intents, &resolution, round as u64);
+                traced_transfer(probe, &mut states, &resolution.connections, round as u64)
+            } else {
+                states.union_pairs_parallel(&resolution.connections, self.threads)
+            };
+            dynr.alive_informed += transfer.newly_full;
+            dynr.alive_messages += transfer.moved;
+
+            let formed = resolution.connections.len();
+            result.rounds_executed = round;
+            result.total_connections += formed;
+            result.productive_connections += transfer.productive;
+            result.wasted_connections += formed - transfer.productive;
+            result.dropped_proposals += resolution.dropped_proposals;
+            dynr.record(horizon);
+            if let Some(history) = &mut result.rounds {
+                history.push(RoundStats {
+                    round,
+                    connections: formed,
+                    productive: transfer.productive,
+                    complete_nodes: dynr.alive_informed,
+                    messages_held: dynr.alive_messages,
+                });
+            }
+
+            if probe.enabled() {
+                probe.record(&TraceEvent::Boundary {
+                    t: round as u64 * TICKS_PER_ROUND,
+                    round: round as u64,
+                    scope: BoundaryScope::Round,
+                });
+            }
+
+            if dynr.complete() {
+                result.completed = true;
+                result.rounds_to_completion = Some(round);
+                break;
+            }
+        }
+
+        result.complete_nodes = dynr.alive_informed;
+        result.virtual_time = result.rounds_executed as u64 * TICKS_PER_ROUND;
+        result.virtual_time_to_completion = result
+            .rounds_to_completion
+            .map(|r| r as u64 * TICKS_PER_ROUND);
+        result.membership = Some(mem.finish(Some(dynr.topo.alive_mask())));
         result.dynamics = Some(dynr.finish(SimTime(result.virtual_time)));
         result
     }

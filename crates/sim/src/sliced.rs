@@ -62,6 +62,7 @@ use gossip_core::{
     NodeId, PeerState, Rng, Topology,
 };
 use gossip_dynamics::{DynamicsModel, MutationKind};
+use gossip_membership::{Membership, MembershipConfig};
 use gossip_protocols::{GossipProtocol, NodeCtx};
 use gossip_telemetry::metrics::RegionLoad;
 use gossip_telemetry::{BoundaryScope, Probe, TraceEvent};
@@ -88,6 +89,8 @@ const REGION_STREAM_BASE: u64 = 2 << 32;
 /// matching resolver's boundary stream).
 const SWEEP_STREAM: u64 = u64::MAX - 2;
 /// Stream for the serial start-of-slice mutation drain of a pass.
+/// (`u64::MAX - 4` is the membership layer's tick stream,
+/// [`gossip_membership::MEMBERSHIP_STREAM`] — keep them disjoint.)
 const MUTATE_STREAM: u64 = u64::MAX - 3;
 
 /// Wall-time breakdown of a sliced run, for `bench`. `execute` is the
@@ -512,9 +515,14 @@ fn execute_slice<G: GraphView + Sync + ?Sized>(
 /// phases — the `(time, region)` merge replay and the boundary sweep —
 /// are the only places `probe.record` is called, so the emitted stream
 /// is one deterministic global order at any thread count.
+// Mirrors the `Scheduler` entry points — the argument list is the
+// determinism contract. `membership: Some(cfg)` swaps the gossip graph
+// for a discovered overlay, ticked serially at slice starts.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sliced(
     sched: &AsyncScheduler,
     topology: &Topology,
+    membership: Option<&MembershipConfig>,
     protocol: &dyn GossipProtocol,
     sources: &[NodeId],
     seed: u64,
@@ -528,8 +536,10 @@ pub(crate) fn run_sliced(
     let n = topology.num_nodes();
     let mut rng = Rng::new(seed);
     let (mut states, mut result) = init_run(topology, protocol, "async", sources, seed, config);
+    let mut mem = membership.map(|cfg| Membership::new(n, *cfg));
     let mut timings = SliceTimings::default();
     if result.completed {
+        result.membership = mem.as_ref().map(|m| m.finish(None));
         return (result, timings);
     }
     let mut complete_nodes = result.complete_nodes;
@@ -604,13 +614,27 @@ pub(crate) fn run_sliced(
             });
         }
 
+        // Membership ticks serially at the slice start — the async
+        // analogue of the sync scheduler's round-boundary tick — so the
+        // whole slice executes against frozen views.
+        if let Some(m) = mem.as_mut() {
+            m.tick(topology, None, seed, pass, probe);
+        }
+
         // Phase A: parallel region execution against a start-of-slice
-        // advertisement snapshot.
+        // advertisement snapshot. With membership, attempts may outlive
+        // the view edge they were proposed over (ticks run between
+        // passes), so the region workers treat the graph as mutable
+        // (`dynamic`) and fail such attempts instead of asserting.
         let t0 = Instant::now();
         ads_snap.copy_from_slice(&ads);
         {
+            let graph: &(dyn GraphView + Sync) = match mem.as_ref() {
+                Some(m) => m,
+                None => topology,
+            };
             let ctx = SliceCtx {
-                graph: topology,
+                graph,
                 protocol,
                 timing: &sched.timing,
                 drift: &drift,
@@ -620,7 +644,7 @@ pub(crate) fn run_sliced(
                 pass,
                 end,
                 block,
-                dynamic: false,
+                dynamic: mem.is_some(),
                 tracing,
             };
             execute_slice(
@@ -733,11 +757,19 @@ pub(crate) fn run_sliced(
             }
             match ev.event {
                 Ev::Attempt { from, to, gen } => {
+                    // Membership views on a static underlay are always a
+                    // subgraph of it, so the non-edge assert stays valid;
+                    // the *connect* check runs against the overlay, where
+                    // an evicted view edge fails the attempt naturally.
                     debug_assert!(
                         topology.are_neighbors(from, to),
                         "protocol proposed {from} -> {to} across a non-edge"
                     );
-                    if matcher.try_connect(topology, from, to) {
+                    let connected = match mem.as_ref() {
+                        Some(m) => matcher.try_connect(m, from, to),
+                        None => matcher.try_connect(topology, from, to),
+                    };
+                    if connected {
                         if tracing {
                             probe.record(&TraceEvent::Connect {
                                 t: now.ticks(),
@@ -847,6 +879,7 @@ pub(crate) fn run_sliced(
             messages_held,
         );
     }
+    result.membership = mem.as_ref().map(|m| m.finish(None));
     timings.events = scratches.iter().map(|s| s.events).sum::<u64>() + sweep_events;
     for (r, s) in scratches.iter().enumerate() {
         timings.events_by_region.add(r, s.events);
@@ -865,6 +898,7 @@ pub(crate) fn run_dynamic_sliced(
     sched: &AsyncScheduler,
     topology: &Topology,
     dynamics: &dyn DynamicsModel,
+    membership: Option<&MembershipConfig>,
     protocol: &dyn GossipProtocol,
     sources: &[NodeId],
     seed: u64,
@@ -879,8 +913,10 @@ pub(crate) fn run_dynamic_sliced(
     let mut rng = Rng::new(seed);
     let (mut states, mut result) = init_run(topology, protocol, "async", sources, seed, config);
     let mut dynr = DynRun::new(topology, dynamics, seed, &states);
+    let mut mem = membership.map(|cfg| Membership::new(n, *cfg));
     let mut timings = SliceTimings::default();
     if result.completed {
+        result.membership = mem.as_ref().map(|m| m.finish(Some(dynr.topo.alive_mask())));
         result.dynamics = Some(dynr.finish(SimTime::ZERO));
         return (result, timings);
     }
@@ -1023,12 +1059,24 @@ pub(crate) fn run_dynamic_sliced(
         }
         timings.sweep += t2.elapsed();
 
-        // Phase A: parallel region execution over the active graph.
+        // Membership ticks serially after the slice's mutations landed,
+        // so the failure detector sees a departure the very slice it
+        // happens and a rejoiner can re-join immediately.
+        if let Some(m) = mem.as_mut() {
+            m.tick(&dynr.topo, Some(dynr.topo.alive_mask()), seed, pass, probe);
+        }
+
+        // Phase A: parallel region execution over the active graph (the
+        // discovered overlay when membership is on).
         let t0 = Instant::now();
         ads_snap.copy_from_slice(&ads);
         {
+            let graph: &(dyn GraphView + Sync) = match mem.as_ref() {
+                Some(m) => m,
+                None => &dynr.topo,
+            };
             let ctx = SliceCtx {
-                graph: &dynr.topo,
+                graph,
                 protocol,
                 timing: &sched.timing,
                 drift: &drift,
@@ -1163,7 +1211,11 @@ pub(crate) fn run_dynamic_sliced(
             }
             match ev.event {
                 Ev::Attempt { from, to, gen } => {
-                    if matcher.try_connect(&dynr.topo, from, to) {
+                    let connected = match mem.as_ref() {
+                        Some(m) => matcher.try_connect(m, from, to),
+                        None => matcher.try_connect(&dynr.topo, from, to),
+                    };
+                    if connected {
                         if tracing {
                             probe.record(&TraceEvent::Connect {
                                 t: now.ticks(),
@@ -1274,6 +1326,7 @@ pub(crate) fn run_dynamic_sliced(
             dynr.alive_messages,
         );
     }
+    result.membership = mem.as_ref().map(|m| m.finish(Some(dynr.topo.alive_mask())));
     result.dynamics = Some(dynr.finish(SimTime(result.virtual_time)));
     timings.events = scratches.iter().map(|s| s.events).sum::<u64>() + sweep_events;
     for (r, s) in scratches.iter().enumerate() {

@@ -1,0 +1,280 @@
+//! The membership overlay's engine-level contracts: gossip over
+//! discovered HyParView-style views stays byte-identical at any thread
+//! count on both schedulers (the membership tick is serial, at round /
+//! slice boundaries, so sharding never touches it); the views a static
+//! run converges to are non-empty and symmetric for every node of a
+//! connected topology; and the full-knowledge default leaves `SimResult`s
+//! bit-for-bit what the pre-membership engines produced.
+
+use gossip_core::time::TimingConfig;
+use gossip_core::{GraphView, NodeId, Rng, Topology};
+use gossip_dynamics::{Churn, RejoinPolicy};
+use gossip_protocols::{AdvertGossip, GossipProtocol, UniformGossip};
+use gossip_sim::{
+    random_sources, AsyncScheduler, Membership, MembershipConfig, Scheduler, SimConfig,
+    SyncScheduler,
+};
+use gossip_telemetry::NoopProbe;
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+fn topologies(n: usize) -> Vec<Topology> {
+    let mut rng = Rng::new(404);
+    vec![
+        Topology::ring(n),
+        Topology::grid(n),
+        Topology::random_geometric(n, &mut rng),
+    ]
+}
+
+fn mem_cfg() -> MembershipConfig {
+    MembershipConfig::default()
+}
+
+fn sim_cfg(n: usize) -> SimConfig {
+    SimConfig {
+        max_rounds: 60 * n + 200,
+        record_rounds: true,
+    }
+}
+
+#[test]
+fn membership_runs_are_identical_at_any_thread_count_on_both_schedulers() {
+    for topo in topologies(96) {
+        for seed in [7u64, 42] {
+            let n = topo.num_nodes();
+            let sources = random_sources(n, 2, &mut Rng::new(seed ^ 0xfeed));
+            let cfg = sim_cfg(n);
+            let sync_base = SyncScheduler::with_threads(1).run_membership(
+                &topo,
+                &mem_cfg(),
+                &AdvertGossip,
+                &sources,
+                seed,
+                &cfg,
+            );
+            assert!(
+                sync_base.membership.is_some(),
+                "membership runs must carry overlay stats"
+            );
+            let async_base = AsyncScheduler {
+                timing: TimingConfig::default(),
+                threads: 1,
+            }
+            .run_membership(&topo, &mem_cfg(), &AdvertGossip, &sources, seed, &cfg);
+            assert!(async_base.membership.is_some());
+            for threads in THREAD_COUNTS {
+                let sync_run = SyncScheduler::with_threads(threads).run_membership(
+                    &topo,
+                    &mem_cfg(),
+                    &AdvertGossip,
+                    &sources,
+                    seed,
+                    &cfg,
+                );
+                assert_eq!(
+                    sync_base,
+                    sync_run,
+                    "sync membership run on {} diverged at {threads} threads",
+                    topo.name()
+                );
+                let async_run = AsyncScheduler {
+                    timing: TimingConfig::default(),
+                    threads,
+                }
+                .run_membership(
+                    &topo,
+                    &mem_cfg(),
+                    &AdvertGossip,
+                    &sources,
+                    seed,
+                    &cfg,
+                );
+                assert_eq!(
+                    async_base,
+                    async_run,
+                    "async membership run on {} diverged at {threads} threads",
+                    topo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn membership_churn_runs_are_identical_at_any_thread_count() {
+    let churn = Churn {
+        rate: 0.05,
+        rejoin: RejoinPolicy::Keep,
+        mean_downtime: 3.0,
+    };
+    for topo in topologies(96) {
+        let n = topo.num_nodes();
+        let sources = random_sources(n, 2, &mut Rng::new(0xfeed));
+        let cfg = sim_cfg(n);
+        let sync_base = SyncScheduler::with_threads(1).run_dynamic_membership(
+            &topo,
+            &churn,
+            &mem_cfg(),
+            &AdvertGossip,
+            &sources,
+            77,
+            &cfg,
+        );
+        let async_base = AsyncScheduler {
+            timing: TimingConfig::default(),
+            threads: 1,
+        }
+        .run_dynamic_membership(
+            &topo,
+            &churn,
+            &mem_cfg(),
+            &AdvertGossip,
+            &sources,
+            77,
+            &cfg,
+        );
+        // Churn under the overlay exercises the failure detector: departed
+        // peers must be suspected and eventually evicted.
+        let stats = sync_base.membership.as_ref().unwrap();
+        assert!(stats.probes > 0, "the failure detector never probed");
+        for threads in THREAD_COUNTS {
+            let sync_run = SyncScheduler::with_threads(threads).run_dynamic_membership(
+                &topo,
+                &churn,
+                &mem_cfg(),
+                &AdvertGossip,
+                &sources,
+                77,
+                &cfg,
+            );
+            assert_eq!(
+                sync_base,
+                sync_run,
+                "sync membership+churn run on {} diverged at {threads} threads",
+                topo.name()
+            );
+            let async_run = AsyncScheduler {
+                timing: TimingConfig::default(),
+                threads,
+            }
+            .run_dynamic_membership(
+                &topo,
+                &churn,
+                &mem_cfg(),
+                &AdvertGossip,
+                &sources,
+                77,
+                &cfg,
+            );
+            assert_eq!(
+                async_base,
+                async_run,
+                "async membership+churn run on {} diverged at {threads} threads",
+                topo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn static_views_converge_nonempty_and_symmetric_on_every_family() {
+    // The overlay alone (no gossip run): after a bounded number of shuffle
+    // rounds over a connected static underlay, every node's active view
+    // is non-empty and exactly symmetric, across seeds. 3× the passive
+    // capacity is a generous convergence budget — the joins land in tick
+    // 0 and symmetry is an invariant of link()/evict(), so this mostly
+    // guards against a future drift where shuffling breaks it.
+    for topo in topologies(128) {
+        for seed in [1u64, 9, 33] {
+            let cfg = mem_cfg();
+            let mut mem = Membership::new(topo.num_nodes(), cfg);
+            for tick in 0..(3 * cfg.passive_size as u64) {
+                mem.tick(&topo, None, seed, tick, &mut NoopProbe);
+            }
+            for u in 0..topo.num_nodes() {
+                let view = mem.neighbors(NodeId(u as u32));
+                assert!(
+                    !view.is_empty(),
+                    "node {u} on {} (seed {seed}) has an empty active view",
+                    topo.name()
+                );
+                assert!(
+                    view.len() <= cfg.active_size,
+                    "node {u} exceeds the active-view bound"
+                );
+                for &v in view {
+                    assert!(
+                        mem.neighbors(v).contains(&NodeId(u as u32)),
+                        "edge {u}->{} is not symmetric on {} (seed {seed})",
+                        v.index(),
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_view_default_is_byte_identical_to_the_pre_membership_path() {
+    // Satellite regression: a run WITHOUT the membership axis must produce
+    // a SimResult structurally identical to the plain engine entry points
+    // — the Option field stays None and nothing else moves. (The emit
+    // layer's serialization pins then keep the JSON byte-identical too.)
+    let topo = Topology::ring(256);
+    let sources = random_sources(256, 1, &mut Rng::new(5));
+    let cfg = sim_cfg(256);
+    for proto in [&UniformGossip as &dyn GossipProtocol, &AdvertGossip] {
+        let plain = SyncScheduler::with_threads(2).run(&topo, proto, &sources, 11, &cfg);
+        assert!(plain.membership.is_none());
+        let async_plain = AsyncScheduler {
+            timing: TimingConfig::default(),
+            threads: 2,
+        }
+        .run(&topo, proto, &sources, 11, &cfg);
+        assert!(async_plain.membership.is_none());
+    }
+}
+
+#[test]
+fn gossip_over_discovered_views_still_completes() {
+    // The end-to-end point of the overlay: advert gossip confined to the
+    // discovered active views (≤5 peers each) still spreads the rumor to
+    // every node on each topology family, on both schedulers.
+    for topo in topologies(96) {
+        let n = topo.num_nodes();
+        let sources = random_sources(n, 1, &mut Rng::new(0xfeed));
+        let cfg = sim_cfg(n);
+        let sync_run = SyncScheduler::with_threads(2).run_membership(
+            &topo,
+            &mem_cfg(),
+            &AdvertGossip,
+            &sources,
+            3,
+            &cfg,
+        );
+        assert!(
+            sync_run.completed,
+            "sync membership gossip on {} did not complete",
+            topo.name()
+        );
+        let stats = sync_run.membership.unwrap();
+        // Not every node registers a join of its own — a node whose view
+        // an earlier joiner already linked into skips the join phase —
+        // but bootstrap joins must have happened.
+        assert!(stats.joins > 0, "nobody joined the overlay");
+        assert!(stats.active_min >= 1 && stats.active_max <= mem_cfg().active_size);
+        assert_eq!(stats.isolated_nodes, 0);
+        let async_run = AsyncScheduler {
+            timing: TimingConfig::default(),
+            threads: 2,
+        }
+        .run_membership(&topo, &mem_cfg(), &AdvertGossip, &sources, 3, &cfg);
+        assert!(
+            async_run.completed,
+            "async membership gossip on {} did not complete",
+            topo.name()
+        );
+    }
+}

@@ -20,6 +20,22 @@ struct RunRow {
     group: String,
     protocol: String,
     rounds: Option<u64>,
+    /// Membership-overlay counters, present exactly when the line carries
+    /// a `membership` object.
+    membership: Option<MemRow>,
+    /// `dynamics.departures`, when the line carries a dynamics object —
+    /// the churn denominator the eviction false-positive rate is read
+    /// against.
+    departures: Option<u64>,
+}
+
+/// The membership counters of one run line.
+#[derive(Clone, Copy, Debug)]
+struct MemRow {
+    suspicions: u64,
+    evictions: u64,
+    false_positives: u64,
+    isolated: u64,
 }
 
 /// Accumulator for the trace stream currently being read.
@@ -48,6 +64,10 @@ struct EventCounts {
     sever: u64,
     mutate: u64,
     boundary: u64,
+    join: u64,
+    shuffle: u64,
+    suspect: u64,
+    evict: u64,
     other: u64,
 }
 
@@ -61,7 +81,14 @@ impl EventCounts {
             + self.sever
             + self.mutate
             + self.boundary
+            + self.membership_total()
             + self.other
+    }
+
+    /// Events emitted by the membership overlay; zero on traces of
+    /// full-view runs, whose report lines are then unchanged.
+    fn membership_total(&self) -> u64 {
+        self.join + self.shuffle + self.suspect + self.evict
     }
 }
 
@@ -155,6 +182,15 @@ impl Analyzer {
                 .and_then(Value::as_str)
                 .unwrap_or("?")
                 .to_string();
+            let membership = v.get("membership").map(|m| {
+                let count = |key: &str| m.get(key).and_then(Value::as_u64).unwrap_or(0);
+                MemRow {
+                    suspicions: count("suspicions"),
+                    evictions: count("evictions"),
+                    false_positives: count("false_positive_evictions"),
+                    isolated: count("isolated_nodes"),
+                }
+            });
             self.runs.push(RunRow {
                 group: strip_seed(&scenario_id),
                 protocol: v
@@ -163,6 +199,11 @@ impl Analyzer {
                     .unwrap_or("?")
                     .to_string(),
                 rounds: v.get("rounds_to_completion").and_then(Value::as_u64),
+                membership,
+                departures: v
+                    .get("dynamics")
+                    .and_then(|d| d.get("departures"))
+                    .and_then(Value::as_u64),
             });
             return;
         }
@@ -267,6 +308,64 @@ impl Analyzer {
             }
         }
 
+        // Membership-overlay section: one row per sweep group whose lines
+        // carry a `membership` object; groups without it never appear, so
+        // full-view reports are unchanged.
+        let mem_groups: Vec<&String> = groups
+            .iter()
+            .filter(|g| {
+                self.runs
+                    .iter()
+                    .any(|r| &r.group == *g && r.membership.is_some())
+            })
+            .collect();
+        if !mem_groups.is_empty() {
+            let width = mem_groups.iter().map(|g| g.len()).max().unwrap().max(8);
+            out.push_str("\nmembership overlay (totals across runs)\n");
+            out.push_str(&format!(
+                "  {:width$}  {:>5} {:>10} {:>9} {:>9} {:>10} {:>8} {:>8}\n",
+                "scenario",
+                "runs",
+                "suspicions",
+                "evictions",
+                "false_ev",
+                "departures",
+                "fp_rate",
+                "isolated"
+            ));
+            for group in mem_groups {
+                let rows: Vec<&RunRow> = self
+                    .runs
+                    .iter()
+                    .filter(|r| &r.group == group && r.membership.is_some())
+                    .collect();
+                let sum = |f: fn(&MemRow) -> u64| -> u64 {
+                    rows.iter()
+                        .filter_map(|r| r.membership.map(|m| f(&m)))
+                        .sum()
+                };
+                let (suspicions, evictions) = (sum(|m| m.suspicions), sum(|m| m.evictions));
+                let false_ev = sum(|m| m.false_positives);
+                let departures: u64 = rows.iter().filter_map(|r| r.departures).sum();
+                let fp_rate = if evictions == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.3}", false_ev as f64 / evictions as f64)
+                };
+                out.push_str(&format!(
+                    "  {:width$}  {:>5} {:>10} {:>9} {:>9} {:>10} {:>8} {:>8}\n",
+                    group,
+                    rows.len(),
+                    suspicions,
+                    evictions,
+                    false_ev,
+                    departures,
+                    fp_rate,
+                    sum(|m| m.isolated),
+                ));
+            }
+        }
+
         // Per-trace sections.
         for t in &self.traces {
             let c = &t.counts;
@@ -275,6 +374,12 @@ impl Analyzer {
                 "  events {} (propose {}, connect {}, reject {}, drop {}, transfer {}, sever {}, mutate {}, boundary {})\n",
                 c.total(), c.propose, c.connect, c.reject, c.drop, c.transfer, c.sever, c.mutate, c.boundary
             ));
+            if c.membership_total() > 0 {
+                out.push_str(&format!(
+                    "  membership events: join {}, shuffle {}, suspect {}, evict {}\n",
+                    c.join, c.shuffle, c.suspect, c.evict
+                ));
+            }
             out.push_str(&format!(
                 "  dissemination depth: reached {}/{} node-messages, max depth {}, mean depth {:.1}\n",
                 t.reached, t.universe, t.depth_max, t.depth_mean
@@ -336,6 +441,10 @@ impl TraceAccum {
             "sever" => self.counts.sever += 1,
             "mutate" => self.counts.mutate += 1,
             "boundary" => self.counts.boundary += 1,
+            "join" => self.counts.join += 1,
+            "shuffle" => self.counts.shuffle += 1,
+            "suspect" => self.counts.suspect += 1,
+            "evict" => self.counts.evict += 1,
             _ => self.counts.other += 1,
         }
     }
@@ -451,6 +560,69 @@ mod tests {
         // Mean over non-source reached pairs: (1 + 2 + 2) / 3.
         assert!(report.contains("mean depth 1.7"), "{report}");
         assert!(report.contains("region balance"), "{report}");
+    }
+
+    #[test]
+    fn membership_lines_get_their_own_section_and_plain_lines_do_not() {
+        let mut a = Analyzer::default();
+        // One plain line: no membership section may appear for it.
+        a.add_line(&run_line(
+            "ring-uniform-sync-n50-k1",
+            "uniform",
+            1,
+            Some(90),
+        ));
+        // Two membership + churn lines in one sweep group.
+        for seed in [1u64, 2] {
+            a.add_line(&format!(
+                "{{\"schema\":1,\"scenario_id\":\"rgg-advert-sync-n50-k1-churn0.01:keep-mem@a5p30sh1pr1-s{seed}\",\
+                 \"protocol\":\"advert\",\"completed\":true,\"rounds_to_completion\":70,\
+                 \"dynamics\":{{\"model\":\"churn\",\"departures\":4}},\
+                 \"membership\":{{\"active_min\":1,\"active_mean\":4.2,\"active_max\":5,\
+                 \"isolated_nodes\":0,\"joins\":50,\"shuffles\":100,\"probes\":100,\
+                 \"suspicions\":6,\"evictions\":5,\"false_positive_evictions\":1}}}}"
+            ));
+        }
+        let report = a.report();
+        assert!(report.contains("membership overlay"), "{report}");
+        // Totals over the two runs: 12 suspicions, 10 evictions, 2 false,
+        // 8 departures, fp rate 2/10.
+        assert!(report.contains("12"), "{report}");
+        assert!(report.contains("0.200"), "{report}");
+        // The full-view group is absent from the membership table.
+        let section = report.split("membership overlay").nth(1).unwrap();
+        assert!(!section.contains("ring-uniform"), "{report}");
+
+        // A report with no membership lines has no such section at all.
+        let mut plain = Analyzer::default();
+        plain.add_line(&run_line(
+            "ring-uniform-sync-n50-k1",
+            "uniform",
+            1,
+            Some(90),
+        ));
+        assert!(!plain.report().contains("membership overlay"));
+    }
+
+    #[test]
+    fn membership_trace_events_are_tallied() {
+        let mut a = Analyzer::default();
+        a.add_line(r#"{"trace_schema":1,"scenario_id":"tiny","nodes":4,"messages":1,"seed":0}"#);
+        a.add_line(r#"{"ev":"join","t":0,"round":0,"node":0,"peer":1}"#);
+        a.add_line(r#"{"ev":"shuffle","t":0,"round":0,"node":1,"peer":2}"#);
+        a.add_line(r#"{"ev":"suspect","t":1024,"round":1,"node":1,"peer":3}"#);
+        a.add_line(r#"{"ev":"evict","t":2048,"round":2,"node":1,"peer":3}"#);
+        let report = a.report();
+        assert!(
+            report.contains("membership events: join 1, shuffle 1, suspect 1, evict 1"),
+            "{report}"
+        );
+
+        // Traces without membership events keep their report unchanged.
+        let mut plain = Analyzer::default();
+        plain.add_line(r#"{"trace_schema":1,"scenario_id":"t2","nodes":4,"messages":1,"seed":0}"#);
+        plain.add_line(r#"{"ev":"connect","t":1,"round":1,"initiator":0,"acceptor":1}"#);
+        assert!(!plain.report().contains("membership events"));
     }
 
     #[test]

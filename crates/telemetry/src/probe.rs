@@ -121,6 +121,36 @@ pub enum TraceEvent {
         round: u64,
         scope: BoundaryScope,
     },
+    /// Membership: `node` (re)joined the overlay by linking to `peer`.
+    Join {
+        t: u64,
+        round: u64,
+        node: u32,
+        peer: u32,
+    },
+    /// Membership: a shuffle step added `peer` to `node`'s passive view.
+    Shuffle {
+        t: u64,
+        round: u64,
+        node: u32,
+        peer: u32,
+    },
+    /// Membership: `node`'s probe of `peer` failed; `peer` is now
+    /// suspected.
+    Suspect {
+        t: u64,
+        round: u64,
+        node: u32,
+        peer: u32,
+    },
+    /// Membership: `node` evicted the unrefuted suspect `peer` from its
+    /// active view.
+    Evict {
+        t: u64,
+        round: u64,
+        node: u32,
+        peer: u32,
+    },
 }
 
 impl TraceEvent {
@@ -177,6 +207,38 @@ impl TraceEvent {
             TraceEvent::Boundary { t, round, scope } => {
                 let scope = scope.tag();
                 format!("{{\"ev\":\"boundary\",\"t\":{t},\"round\":{round},\"scope\":\"{scope}\"}}")
+            }
+            TraceEvent::Join {
+                t,
+                round,
+                node,
+                peer,
+            } => {
+                format!("{{\"ev\":\"join\",\"t\":{t},\"round\":{round},\"node\":{node},\"peer\":{peer}}}")
+            }
+            TraceEvent::Shuffle {
+                t,
+                round,
+                node,
+                peer,
+            } => {
+                format!("{{\"ev\":\"shuffle\",\"t\":{t},\"round\":{round},\"node\":{node},\"peer\":{peer}}}")
+            }
+            TraceEvent::Suspect {
+                t,
+                round,
+                node,
+                peer,
+            } => {
+                format!("{{\"ev\":\"suspect\",\"t\":{t},\"round\":{round},\"node\":{node},\"peer\":{peer}}}")
+            }
+            TraceEvent::Evict {
+                t,
+                round,
+                node,
+                peer,
+            } => {
+                format!("{{\"ev\":\"evict\",\"t\":{t},\"round\":{round},\"node\":{node},\"peer\":{peer}}}")
             }
         }
     }
@@ -403,6 +465,42 @@ mod tests {
                     scope: BoundaryScope::Round,
                 },
                 r#"{"ev":"boundary","t":1024,"round":1,"scope":"round"}"#,
+            ),
+            (
+                TraceEvent::Join {
+                    t: 1024,
+                    round: 1,
+                    node: 4,
+                    peer: 5,
+                },
+                r#"{"ev":"join","t":1024,"round":1,"node":4,"peer":5}"#,
+            ),
+            (
+                TraceEvent::Shuffle {
+                    t: 2048,
+                    round: 2,
+                    node: 4,
+                    peer: 6,
+                },
+                r#"{"ev":"shuffle","t":2048,"round":2,"node":4,"peer":6}"#,
+            ),
+            (
+                TraceEvent::Suspect {
+                    t: 3072,
+                    round: 3,
+                    node: 4,
+                    peer: 5,
+                },
+                r#"{"ev":"suspect","t":3072,"round":3,"node":4,"peer":5}"#,
+            ),
+            (
+                TraceEvent::Evict {
+                    t: 5120,
+                    round: 5,
+                    node: 4,
+                    peer: 5,
+                },
+                r#"{"ev":"evict","t":5120,"round":5,"node":4,"peer":5}"#,
             ),
         ];
         for (ev, want) in cases {
